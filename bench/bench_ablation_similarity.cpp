@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation study for the similarity checking engine's design choices
+ * (the offline-phase counterpart of Table 5's online ablations):
+ * what each Algorithm 1 pass — argument permutation, hole-based
+ * index-offset refinement, dead-parameter elimination — contributes
+ * to the AutoLLVM IR's compactness.
+ *
+ * The hole-insertion pass cannot be toggled from the options struct
+ * (it is part of extraction), so its contribution is reported as the
+ * count of classes whose members differ in an Index-role parameter —
+ * exactly the merges that would split without holes (the paper's
+ * unpacklo/unpackhi example).
+ */
+#include <iostream>
+
+#include "similarity/engine.h"
+#include "specs/spec_db.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace hydride;
+
+int
+main()
+{
+    std::cout << "=== Ablation: similarity-engine passes ===\n\n";
+    auto insts = combinedSemantics({"x86", "hvx", "arm"});
+
+    Table table({"Configuration", "Classes", "Perm merges",
+                 "Params eliminated", "Avg params/class"});
+    auto run = [&](const char *label, SimilarityOptions options) {
+        SimilarityStats stats;
+        auto classes = runSimilarityEngine(insts, options, &stats);
+        size_t params = 0;
+        for (const auto &cls : classes)
+            params += cls.rep.params.size();
+        table.addRow({label, format("%d", static_cast<int>(classes.size())),
+                      format("%d", stats.permutation_merges),
+                      format("%d", stats.params_eliminated),
+                      format("%.1f", static_cast<double>(params) /
+                                         classes.size())});
+        return classes;
+    };
+
+    SimilarityOptions full;
+    auto classes = run("full (paper configuration)", full);
+
+    SimilarityOptions no_perm = full;
+    no_perm.permute_args = false;
+    run("without argument permutation", no_perm);
+
+    SimilarityOptions no_elim = full;
+    no_elim.eliminate_dead_params = false;
+    run("without dead-parameter elimination", no_elim);
+
+    table.print(std::cout);
+
+    // Hole contribution: classes alive only because of index-offset
+    // parameterization (members disagree on an Index-role parameter).
+    int hole_dependent = 0;
+    for (const auto &cls : classes) {
+        bool index_varies = false;
+        for (size_t p = 0; p < cls.rep.params.size(); ++p) {
+            if (cls.rep.params[p].role != ParamRole::Index)
+                continue;
+            for (const auto &member : cls.members) {
+                index_varies |= member.param_values[p] !=
+                                cls.members[0].param_values[p];
+            }
+        }
+        hole_dependent += index_varies && cls.members.size() > 1 ? 1 : 0;
+    }
+    std::cout << "\nClasses whose merges depend on hole-based index "
+                 "offsets (unpacklo/unpackhi-style): "
+              << hole_dependent << "\n";
+    std::cout << "\nReading: argument permutation merges operand-order "
+                 "variants (mask_blend vs mask_mov); dead-parameter "
+                 "elimination shrinks signatures (the paper's "
+                 "'eliminating unnecessary arguments'); hole insertion "
+                 "is what lets offset variants share a class.\n";
+    return 0;
+}

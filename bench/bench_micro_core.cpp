@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for Hydride's core components:
+ * bitvector arithmetic, semantics interpretation, pseudocode parsing
+ * + canonicalization, constant extraction, similarity grouping, and
+ * end-to-end window synthesis. These quantify the substrate costs
+ * behind the table/figure harnesses.
+ */
+#include <benchmark/benchmark.h>
+
+#include "hir/canonicalize.h"
+#include "similarity/extraction.h"
+#include "specs/spec_db.h"
+#include "specs/x86_manual.h"
+#include "specs/x86_parser.h"
+#include "support/rng.h"
+#include "synthesis/compiler.h"
+
+using namespace hydride;
+
+namespace {
+
+const AutoLLVMDict &
+dict()
+{
+    static const AutoLLVMDict d = AutoLLVMDict::build({"x86", "hvx", "arm"});
+    return d;
+}
+
+void
+BM_BitVectorAdd(benchmark::State &state)
+{
+    Rng rng(1);
+    BitVector a = BitVector::random(static_cast<int>(state.range(0)), rng);
+    BitVector b = BitVector::random(static_cast<int>(state.range(0)), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.add(b));
+}
+BENCHMARK(BM_BitVectorAdd)->Arg(64)->Arg(512)->Arg(2048);
+
+void
+BM_BitVectorMul(benchmark::State &state)
+{
+    Rng rng(2);
+    BitVector a = BitVector::random(static_cast<int>(state.range(0)), rng);
+    BitVector b = BitVector::random(static_cast<int>(state.range(0)), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.mul(b));
+}
+BENCHMARK(BM_BitVectorMul)->Arg(64)->Arg(512);
+
+void
+BM_SemanticsInterpretation(benchmark::State &state)
+{
+    const CanonicalSemantics *madd = nullptr;
+    for (const auto &sem : isaSemantics("x86").insts)
+        if (sem.name == "_mm512_madd_epi16")
+            madd = &sem;
+    Rng rng(3);
+    BitVector a = BitVector::random(512, rng);
+    BitVector b = BitVector::random(512, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(madd->evaluate({a, b}, {}));
+}
+BENCHMARK(BM_SemanticsInterpretation);
+
+void
+BM_ParseAndCanonicalize(benchmark::State &state)
+{
+    const IsaSpec &manual = isaManual("x86");
+    const InstDef *inst = nullptr;
+    for (const auto &candidate : manual.insts)
+        if (candidate.name == "_mm512_unpacklo_epi8")
+            inst = &candidate;
+    for (auto _ : state) {
+        SpecFunction fn = parseX86Inst(*inst);
+        benchmark::DoNotOptimize(canonicalize(fn));
+    }
+}
+BENCHMARK(BM_ParseAndCanonicalize);
+
+void
+BM_ConstantExtraction(benchmark::State &state)
+{
+    const CanonicalSemantics *sem = nullptr;
+    for (const auto &candidate : isaSemantics("x86").insts)
+        if (candidate.name == "_mm512_dpwssd_epi32")
+            sem = &candidate;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(extractConstants(*sem));
+}
+BENCHMARK(BM_ConstantExtraction);
+
+void
+BM_SimilarityEngine300(benchmark::State &state)
+{
+    std::vector<CanonicalSemantics> insts(
+        isaSemantics("hvx").insts.begin(),
+        isaSemantics("hvx").insts.end());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runSimilarityEngine(insts));
+}
+BENCHMARK(BM_SimilarityEngine300)->Unit(benchmark::kMillisecond);
+
+void
+BM_SynthesizeMatmulWindow(benchmark::State &state)
+{
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel kernel = buildKernel("matmul_b1", schedule);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            synthesizeWindow(dict(), "x86", kernel.windows[0]));
+    }
+}
+BENCHMARK(BM_SynthesizeMatmulWindow)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel kernel = buildKernel("matmul_b1", schedule);
+    SynthesisCache cache;
+    SynthesisResult result =
+        synthesizeWindow(dict(), "x86", kernel.windows[0]);
+    cache.insert(kernel.windows[0], "x86", result);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.lookup(kernel.windows[0], "x86"));
+}
+BENCHMARK(BM_CacheLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

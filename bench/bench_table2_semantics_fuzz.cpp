@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Reproduces **Table 2**: bugs found in hand-written instruction
+ * semantics.
+ *
+ * The paper lists five masking bugs in Rake's hand-implemented HVX
+ * semantics (arithmetic-right-shift and left-shift operands not
+ * masked to the lane width). We reproduce the methodology: a small
+ * hand-written "interpreter" of HVX shift instructions is implemented
+ * here *with* those classic mistakes, and differential fuzzing
+ * against Hydride's auto-generated semantics (parsed from the vendor
+ * pseudocode, which masks shift amounts) flags every one — the same
+ * comparison the paper used to find the Rake bugs, and the argument
+ * for generating semantics instead of writing them by hand.
+ */
+#include <functional>
+#include <iostream>
+
+#include "specs/spec_db.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+using namespace hydride;
+
+namespace {
+
+/** Hand-written (buggy, Rake-style) lane-wise shift interpreters. */
+BitVector
+handShift(const BitVector &a, const BitVector &b, int ew, char kind,
+          bool mask_amount)
+{
+    BitVector out(a.width());
+    for (int lane = 0; lane < a.width() / ew; ++lane) {
+        BitVector x = a.extract(lane * ew, ew);
+        uint64_t amount = b.extract(lane * ew, ew).toUint64();
+        if (mask_amount)
+            amount &= static_cast<uint64_t>(ew - 1);
+        const int clamped =
+            static_cast<int>(std::min<uint64_t>(amount, 4096));
+        BitVector value = kind == 'a'   ? x.ashr(clamped)
+                          : kind == 'l' ? x.shl(clamped)
+                                        : x.lshr(clamped);
+        out.setSlice(lane * ew, value);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table 2: differential fuzzing of hand-written vs "
+                 "auto-generated HVX semantics ===\n\n";
+
+    struct Case
+    {
+        const char *inst;
+        int ew;
+        char kind;
+        const char *description;
+    };
+    // The five Table 2 bug sites, mapped onto our HVX instruction set.
+    const Case cases[] = {
+        {"vasrh_64B", 16, 'a', "Semantics of ARS not masked."},
+        {"vasrw_128B", 32, 'a', "ARS' operands not masked."},
+        {"vasrb_64B", 8, 'a', "Rounding/Saturating ARS not masked."},
+        {"vaslh_128B", 16, 'l', "LS operands not masked."},
+        {"vaslw_64B", 32, 'l', "fused LS and accumulate not masked."},
+    };
+
+    Table table({"Instruction", "Bug Description", "Fuzz Trials",
+                 "First Failing Trial", "Detected"});
+    int found = 0;
+    for (const auto &c : cases) {
+        const CanonicalSemantics *generated = nullptr;
+        for (const auto &sem : isaSemantics("hvx").insts)
+            if (sem.name == c.inst)
+                generated = &sem;
+        if (!generated) {
+            table.addRow({c.inst, c.description, "-", "-", "missing"});
+            continue;
+        }
+        Rng rng(0xFA55 ^ c.ew);
+        const int vw = generated->argWidth(0, {});
+        int first_fail = -1;
+        const int trials = 200;
+        for (int trial = 0; trial < trials; ++trial) {
+            BitVector a = BitVector::random(vw, rng);
+            BitVector b = BitVector::random(vw, rng);
+            // Auto-generated semantics (vendor pseudocode masks).
+            const BitVector truth = generated->evaluate({a, b}, {});
+            // Hand-written semantics with the masking bug.
+            const BitVector buggy =
+                handShift(a, b, c.ew, c.kind, /*mask_amount=*/false);
+            if (truth != buggy) {
+                first_fail = trial;
+                break;
+            }
+        }
+        // Control: the corrected hand semantics must agree.
+        Rng rng2(0xFA55 ^ c.ew);
+        bool control_ok = true;
+        for (int trial = 0; trial < 50; ++trial) {
+            BitVector a = BitVector::random(vw, rng2);
+            BitVector b = BitVector::random(vw, rng2);
+            control_ok &= generated->evaluate({a, b}, {}) ==
+                          handShift(a, b, c.ew, c.kind, true);
+        }
+        found += first_fail >= 0 ? 1 : 0;
+        table.addRow({c.inst, c.description, format("%d", trials),
+                      first_fail >= 0 ? format("%d", first_fail) : "none",
+                      first_fail >= 0
+                          ? (control_ok ? "yes (fix verified)" : "yes")
+                          : "no"});
+    }
+    table.print(std::cout);
+    std::cout << "\n" << found
+              << " of 5 hand-written-semantics bug classes detected "
+                 "(paper Table 2 lists 5 such bugs in Rake).\n";
+    return found == 5 ? 0 : 1;
+}

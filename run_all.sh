@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate every paper table/figure and capture the outputs the
+# repository documents (test_output.txt / bench_output.txt).
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $b ====="
+    "$b"
+done 2>&1 | tee /root/repo/bench_output.txt | grep -E '=====|GEOMEAN|Validation' | tail -40

@@ -1,0 +1,77 @@
+#include "autollvm/dict.h"
+
+#include "specs/spec_db.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace hydride {
+
+const ClassMember &
+AutoOpVariant::member(const AutoLLVMDict &dict) const
+{
+    return dict.cls(class_id).members[member_index];
+}
+
+AutoLLVMDict::AutoLLVMDict(std::vector<EquivalenceClass> classes)
+    : classes_(std::move(classes))
+{
+    names_.reserve(classes_.size());
+    for (size_t c = 0; c < classes_.size(); ++c) {
+        names_.push_back(format("autollvm.g%d", static_cast<int>(c)));
+        const auto &members = classes_[c].members;
+        for (size_t m = 0; m < members.size(); ++m) {
+            AutoOpVariant variant{static_cast<int>(c), static_cast<int>(m)};
+            by_isa_[members[m].isa].push_back(variant);
+            by_inst_[members[m].name] = static_cast<int>(c);
+        }
+    }
+}
+
+AutoLLVMDict
+AutoLLVMDict::build(const std::vector<std::string> &isas)
+{
+    return AutoLLVMDict(runSimilarityEngine(combinedSemantics(isas)));
+}
+
+const EquivalenceClass &
+AutoLLVMDict::cls(int class_id) const
+{
+    HYD_ASSERT(class_id >= 0 && class_id < classCount(),
+               "class id out of range");
+    return classes_[class_id];
+}
+
+const std::string &
+AutoLLVMDict::className(int class_id) const
+{
+    HYD_ASSERT(class_id >= 0 && class_id < classCount(),
+               "class id out of range");
+    return names_[class_id];
+}
+
+const std::vector<AutoOpVariant> &
+AutoLLVMDict::isaVariants(const std::string &isa) const
+{
+    static const std::vector<AutoOpVariant> empty;
+    auto it = by_isa_.find(isa);
+    return it == by_isa_.end() ? empty : it->second;
+}
+
+int
+AutoLLVMDict::classOfInstruction(const std::string &name) const
+{
+    auto it = by_inst_.find(name);
+    return it == by_inst_.end() ? -1 : it->second;
+}
+
+BitVector
+AutoLLVMDict::run(const AutoOpVariant &variant,
+                  const std::vector<BitVector> &args,
+                  const std::vector<int64_t> &int_args) const
+{
+    const EquivalenceClass &c = cls(variant.class_id);
+    const ClassMember &m = c.members[variant.member_index];
+    return c.rep.evaluate(args, m.param_values, int_args);
+}
+
+} // namespace hydride

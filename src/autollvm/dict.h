@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The AutoLLVM instruction dictionary (paper §3.4).
+ *
+ * Each equivalence class produced by the similarity engine becomes
+ * one retargetable AutoLLVM IR instruction: a parameterized operation
+ * whose concrete parameter assignments select individual target
+ * instructions. The dictionary owns the classes, assigns stable
+ * `@autollvm.*` names, indexes members per target ISA, and provides
+ * the executable semantics used by synthesis and simulation.
+ */
+#ifndef HYDRIDE_AUTOLLVM_DICT_H
+#define HYDRIDE_AUTOLLVM_DICT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "similarity/engine.h"
+
+namespace hydride {
+
+/**
+ * A concrete specialization of an AutoLLVM instruction: one class
+ * member (target instruction) viewed as (class id, parameter values).
+ * This is the unit the synthesizer enumerates.
+ */
+struct AutoOpVariant
+{
+    int class_id = 0;
+    int member_index = 0;
+
+    const ClassMember &member(const class AutoLLVMDict &dict) const;
+};
+
+/** The dictionary of AutoLLVM instructions. */
+class AutoLLVMDict
+{
+  public:
+    /** Build from similarity-engine classes. */
+    explicit AutoLLVMDict(std::vector<EquivalenceClass> classes);
+
+    /** Convenience: run the engine over the given ISAs and build. */
+    static AutoLLVMDict build(const std::vector<std::string> &isas);
+
+    int classCount() const { return static_cast<int>(classes_.size()); }
+
+    const EquivalenceClass &cls(int class_id) const;
+
+    /** The `@autollvm.gN` intrinsic name of a class. */
+    const std::string &className(int class_id) const;
+
+    /** All variants whose target instruction belongs to `isa`. */
+    const std::vector<AutoOpVariant> &isaVariants(const std::string &isa)
+        const;
+
+    /** Find the class containing target instruction `name`; -1 if
+     *  absent. */
+    int classOfInstruction(const std::string &name) const;
+
+    /**
+     * Execute a variant on concrete arguments (in the *representative*
+     * argument order) with optional integer immediates.
+     */
+    BitVector run(const AutoOpVariant &variant,
+                  const std::vector<BitVector> &args,
+                  const std::vector<int64_t> &int_args = {}) const;
+
+  private:
+    std::vector<EquivalenceClass> classes_;
+    std::vector<std::string> names_;
+    std::map<std::string, std::vector<AutoOpVariant>> by_isa_;
+    std::map<std::string, int> by_inst_;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_AUTOLLVM_DICT_H

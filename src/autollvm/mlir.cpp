@@ -1,0 +1,111 @@
+#include "autollvm/mlir.h"
+
+#include "support/strings.h"
+
+#include <sstream>
+
+namespace hydride {
+
+namespace {
+
+/** `vector<NxiW>` type string from a member's concrete shape. */
+std::string
+mlirVecType(const EquivalenceClass &cls,
+            const std::vector<int64_t> &params, int arg_index)
+{
+    EvalEnv env;
+    env.param_values = &params;
+    const int ew = static_cast<int>(evalInt(cls.rep.elem_width, env));
+    const int width = arg_index < 0
+                          ? cls.rep.outputWidth(params)
+                          : cls.rep.argWidth(arg_index, params);
+    if (ew <= 0 || width % ew != 0 || width == ew)
+        return format("i%d", width);
+    return format("vector<%dxi%d>", width / ew, ew);
+}
+
+std::string
+opName(const AutoLLVMDict &dict, int class_id)
+{
+    return replaceAll(dict.className(class_id), "autollvm.", "");
+}
+
+} // namespace
+
+std::string
+emitMlirAgnosticDialect(const AutoLLVMDict &dict)
+{
+    std::ostringstream os;
+    os << "// Auto-generated target-agnostic MLIR dialect (autovec).\n"
+       << "// One op per instruction equivalence class; integer\n"
+       << "// attributes carry the abstracted numerical parameters.\n\n"
+       << "def AutoVec_Dialect : Dialect {\n"
+       << "  let name = \"autovec\";\n"
+       << "  let cppNamespace = \"::autovec\";\n"
+       << "}\n\n";
+    for (int c = 0; c < dict.classCount(); ++c) {
+        const EquivalenceClass &cls = dict.cls(c);
+        os << "def AutoVec_" << opName(dict, c)
+           << "Op : AutoVec_Op<\"" << opName(dict, c) << "\"> {\n";
+        os << "  let arguments = (ins";
+        for (size_t a = 0; a < cls.rep.bv_args.size(); ++a)
+            os << (a ? ", " : " ") << "AnyVector:$"
+               << cls.rep.bv_args[a].name;
+        for (const auto &param : cls.rep.params)
+            os << ", I32Attr:$" << param.name;
+        for (const auto &imm : cls.rep.int_args)
+            os << ", I32Attr:$" << imm;
+        os << ");\n";
+        os << "  let results = (outs AnyVector:$dst);\n";
+        os << "  // Members:";
+        int shown = 0;
+        for (const auto &member : cls.members) {
+            if (shown++ == 4) {
+                os << " ... (" << cls.members.size() << " total)";
+                break;
+            }
+            os << " " << member.isa << "." << member.name;
+        }
+        os << "\n}\n\n";
+    }
+    return os.str();
+}
+
+std::string
+emitMlirTargetDialect(const AutoLLVMDict &dict, const std::string &isa)
+{
+    std::ostringstream os;
+    os << "// Auto-generated low-level MLIR dialect for " << isa
+       << " with 1-1 lowerings from autovec.\n\n"
+       << "def " << isa << "_Dialect : Dialect {\n"
+       << "  let name = \"" << isa << "\";\n}\n\n";
+    for (const auto &variant : dict.isaVariants(isa)) {
+        const EquivalenceClass &cls = dict.cls(variant.class_id);
+        const ClassMember &member = variant.member(dict);
+        std::string op = replaceAll(member.name, ".", "_");
+        os << "def " << isa << "_" << op << "Op : " << isa
+           << "_Op<\"" << member.name << "\"> {\n";
+        os << "  let arguments = (ins";
+        for (size_t a = 0; a < cls.rep.bv_args.size(); ++a) {
+            os << (a ? ", " : " ")
+               << mlirVecType(cls, member.param_values,
+                              static_cast<int>(a))
+               << ":$a" << a;
+        }
+        for (const auto &imm : cls.rep.int_args)
+            os << ", I32Attr:$" << imm;
+        os << ");\n";
+        os << "  let results = (outs "
+           << mlirVecType(cls, member.param_values, -1) << ");\n";
+        os << "}\n";
+        os << "// lowering: autovec." << opName(dict, variant.class_id)
+           << "(";
+        for (size_t p = 0; p < member.param_values.size(); ++p)
+            os << (p ? ", " : "") << cls.rep.params[p].name << " = "
+               << member.param_values[p];
+        os << ") -> " << isa << "." << member.name << "\n\n";
+    }
+    return os.str();
+}
+
+} // namespace hydride

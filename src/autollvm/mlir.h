@@ -1,0 +1,37 @@
+/**
+ * @file
+ * MLIR dialect emission — the extension the paper's conclusion
+ * describes ("we are currently using Hydride in MLIR to automatically
+ * generate target-agnostic dialects and low-level target-specific
+ * dialects from ISA specifications... No such capability exists in
+ * MLIR today").
+ *
+ * From the AutoLLVM dictionary this module renders:
+ *  - a target-agnostic `autovec` dialect: one MLIR operation per
+ *    equivalence class, parameterized by the class's abstracted
+ *    constants (the analogue of upstream MLIR's hand-written
+ *    `x86vector`/`arm_neon` dialects, but with full coverage and a
+ *    Hexagon dialect that upstream lacks);
+ *  - per-ISA low-level dialects whose ops map 1-1 onto target
+ *    instructions, each carrying the rewrite pattern that lowers the
+ *    `autovec` op with the matching parameter attributes onto it.
+ */
+#ifndef HYDRIDE_AUTOLLVM_MLIR_H
+#define HYDRIDE_AUTOLLVM_MLIR_H
+
+#include <string>
+
+#include "autollvm/dict.h"
+
+namespace hydride {
+
+/** Emit the target-agnostic `autovec` dialect (ODS-style text). */
+std::string emitMlirAgnosticDialect(const AutoLLVMDict &dict);
+
+/** Emit the low-level dialect + lowering patterns for one ISA. */
+std::string emitMlirTargetDialect(const AutoLLVMDict &dict,
+                                  const std::string &isa);
+
+} // namespace hydride
+
+#endif // HYDRIDE_AUTOLLVM_MLIR_H

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * TableGen emission: Hydride "automatically generates an LLVM
+ * TableGen file with definitions of all AutoLLVM intrinsics" (§3.4).
+ * This module renders the dictionary as a `.td`-style document —
+ * intrinsic declarations plus, per class, the 1-1 lowering records
+ * the code-gen generator derives (§3.5).
+ */
+#ifndef HYDRIDE_AUTOLLVM_TABLEGEN_H
+#define HYDRIDE_AUTOLLVM_TABLEGEN_H
+
+#include <string>
+
+#include "autollvm/dict.h"
+
+namespace hydride {
+
+/** Emit intrinsic definitions for every AutoLLVM instruction. */
+std::string emitTableGen(const AutoLLVMDict &dict);
+
+} // namespace hydride
+
+#endif // HYDRIDE_AUTOLLVM_TABLEGEN_H

@@ -1,0 +1,96 @@
+#include "backends/simulator.h"
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace hydride {
+
+double
+simulateCycles(const CompiledKernel &compiled, const Kernel &kernel,
+               const SimConfig &config)
+{
+    double per_iteration = config.loop_overhead;
+    for (const auto &program : compiled.programs)
+        per_iteration += program.cost();
+    // Memory traffic depends on the kernel, not on how a compiler
+    // split its windows: charge one load per *original* window input
+    // (cut-point values stay in registers).
+    for (const auto &window : kernel.windows)
+        per_iteration += config.load_cost * halideInputCount(window);
+    return per_iteration * kernel.iterations;
+}
+
+bool
+validateCompiled(const AutoLLVMDict &dict, const CompiledKernel &compiled,
+                 const Kernel &kernel, int trials)
+{
+    if (compiled.cost_model_only)
+        return true;
+    if (compiled.programs.size() != compiled.windows.size() ||
+        compiled.groups.size() != compiled.windows.size()) {
+        return false;
+    }
+
+    Rng rng(0x5173 ^ std::hash<std::string>{}(compiled.backend + "/" +
+                                              kernel.name));
+    // Pieces of one group feed later pieces: piece outputs land at
+    // the input index they were cut out as.
+    size_t p = 0;
+    while (p < compiled.windows.size()) {
+        const int group = compiled.groups[p];
+        size_t end = p;
+        while (end < compiled.windows.size() &&
+               compiled.groups[end] == group) {
+            ++end;
+        }
+        for (int trial = 0; trial < trials; ++trial) {
+            // Shared input pool for the group.
+            std::vector<BitVector> pool;
+            auto ensure = [&](size_t index, int width) {
+                if (pool.size() <= index)
+                    pool.resize(index + 1, BitVector(1));
+                if (pool[index].width() != width)
+                    pool[index] = BitVector::random(std::max(width, 1),
+                                                    rng);
+            };
+            bool group_ok = true;
+            // Cut-point ids start right after the original window's
+            // inputs (exactly how splitWindow numbers them).
+            size_t next_cut = static_cast<size_t>(
+                halideInputCount(kernel.windows[group]));
+            for (size_t q = p; q < end && group_ok; ++q) {
+                const TargetProgram &program = compiled.programs[q];
+                std::vector<BitVector> inputs;
+                for (size_t i = 0; i < program.input_widths.size(); ++i) {
+                    ensure(i, program.input_widths[i]);
+                    inputs.push_back(pool[i]);
+                }
+                BitVector got(1);
+                BitVector expect(1);
+                try {
+                    got = program.evaluate(dict, inputs);
+                    expect = evalHalide(compiled.windows[q], inputs);
+                } catch (const AssertionError &) {
+                    // Structurally inconsistent program/window pair.
+                    return false;
+                }
+                if (got != expect) {
+                    group_ok = false;
+                    break;
+                }
+                if (q + 1 < end) {
+                    if (pool.size() <= next_cut)
+                        pool.resize(next_cut + 1, BitVector(1));
+                    pool[next_cut] = got;
+                    ++next_cut;
+                }
+            }
+            if (!group_ok)
+                return false;
+        }
+        p = end;
+    }
+    return true;
+}
+
+} // namespace hydride

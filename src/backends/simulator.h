@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Performance simulator for compiled kernels.
+ *
+ * Stands in for the paper's hardware measurements (Xeon wall clock,
+ * the Hexagon cycle-accurate simulator, Apple M2 wall clock; see
+ * DESIGN.md). The model charges, per dynamic iteration of a kernel's
+ * inner loop:
+ *
+ *   loop_overhead + sum over windows (instruction latency sum
+ *                                     + loads * load_cost)
+ *
+ * Loads are the window's vector inputs. The additive memory/loop
+ * terms damp compute-cost ratios the way real memory traffic does —
+ * a kernel whose compute halves does not run twice as fast — which
+ * is what keeps the Figure 6 geomeans in the paper's ranges rather
+ * than at the raw instruction-count ratios.
+ *
+ * The simulator also re-validates functional correctness: each
+ * compiled window is differentially tested against its Halide window
+ * on random inputs (except for programs flagged cost_model_only).
+ */
+#ifndef HYDRIDE_BACKENDS_SIMULATOR_H
+#define HYDRIDE_BACKENDS_SIMULATOR_H
+
+#include "backends/backends.h"
+#include "backends/targets.h"
+
+namespace hydride {
+
+/** Simulated cycles for one compiled kernel. */
+double simulateCycles(const CompiledKernel &compiled, const Kernel &kernel,
+                      const SimConfig &config = {});
+
+/**
+ * Differentially validate a compiled kernel against its Halide
+ * windows on `trials` random inputs; returns false on any mismatch.
+ * Kernels flagged cost_model_only are skipped (returns true).
+ */
+bool validateCompiled(const AutoLLVMDict &dict,
+                      const CompiledKernel &compiled, const Kernel &kernel,
+                      int trials = 3);
+
+} // namespace hydride
+
+#endif // HYDRIDE_BACKENDS_SIMULATOR_H

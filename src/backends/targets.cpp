@@ -1,0 +1,16 @@
+#include "backends/targets.h"
+
+namespace hydride {
+
+const std::vector<TargetDesc> &
+evaluationTargets()
+{
+    static const std::vector<TargetDesc> targets = {
+        {"x86 (AVX-512 Xeon-class)", "x86", 512, {14.0, 8.0}},
+        {"HVX (Hexagon 128B mode)", "hvx", 1024, {2.0, 4.0}},
+        {"ARM (NEON AArch64)", "arm", 128, {3.0, 4.0}},
+    };
+    return targets;
+}
+
+} // namespace hydride

@@ -1,0 +1,126 @@
+#include "codegen/lowering.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+#include <sstream>
+
+namespace hydride {
+
+int
+TargetProgram::cost() const
+{
+    int total = 0;
+    for (const auto &inst : insts)
+        total += inst.latency;
+    return total;
+}
+
+BitVector
+TargetProgram::evaluate(const AutoLLVMDict &dict,
+                        const std::vector<BitVector> &inputs) const
+{
+    std::vector<BitVector> values;
+    values.reserve(insts.size());
+    for (const auto &inst : insts) {
+        std::vector<BitVector> args;
+        for (const auto &ref : inst.args) {
+            if (ref.kind == ValueRef::Input)
+                args.push_back(inputs[ref.index]);
+            else if (ref.kind == ValueRef::Const)
+                args.push_back(constants[ref.index]);
+            else
+                args.push_back(values[ref.index]);
+        }
+        values.push_back(dict.run(inst.op, args, inst.int_args));
+    }
+    if (!results.empty()) {
+        auto value_of = [&](const ValueRef &ref) {
+            if (ref.kind == ValueRef::Input)
+                return inputs[ref.index];
+            if (ref.kind == ValueRef::Const)
+                return constants[ref.index];
+            return values[ref.index];
+        };
+        BitVector out = value_of(results[0]);
+        for (size_t r = 1; r < results.size(); ++r)
+            out = BitVector::concat(value_of(results[r]), out);
+        return out;
+    }
+    HYD_ASSERT(!values.empty(), "empty target program");
+    const int out = result < 0 ? static_cast<int>(insts.size()) - 1 : result;
+    return values[out];
+}
+
+std::string
+TargetProgram::print() const
+{
+    std::ostringstream os;
+    for (size_t v = 0; v < insts.size(); ++v) {
+        const TargetInst &inst = insts[v];
+        os << "%" << v << " = " << inst.inst_name << "(";
+        for (size_t a = 0; a < inst.args.size(); ++a) {
+            if (a)
+                os << ", ";
+            if (inst.args[a].kind == ValueRef::Input)
+                os << "%arg" << inst.args[a].index;
+            else if (inst.args[a].kind == ValueRef::Const)
+                os << "%const" << inst.args[a].index;
+            else
+                os << "%" << inst.args[a].index;
+        }
+        for (int64_t imm : inst.int_args)
+            os << ", " << imm;
+        os << ")  ; lat " << inst.latency << "\n";
+    }
+    return os.str();
+}
+
+LoweringResult
+lowerToTarget(const AutoModule &module, const AutoLLVMDict &dict,
+              const std::string &isa)
+{
+    LoweringResult result;
+    result.program.isa = isa;
+    result.program.input_widths = module.input_widths;
+    result.program.constants = module.constants;
+    result.program.result = module.result;
+
+    for (const auto &inst : module.insts) {
+        const EquivalenceClass &cls = dict.cls(inst.op.class_id);
+        const ClassMember &chosen = inst.op.member(dict);
+
+        // Retarget: find the member of this class on `isa` with the
+        // same parameter assignment (possibly `chosen` itself).
+        const ClassMember *target = nullptr;
+        AutoOpVariant variant = inst.op;
+        for (size_t m = 0; m < cls.members.size(); ++m) {
+            const ClassMember &cand = cls.members[m];
+            if (cand.isa == isa &&
+                cand.param_values == chosen.param_values) {
+                target = &cand;
+                variant.member_index = static_cast<int>(m);
+                break;
+            }
+        }
+        if (!target) {
+            result.error = format(
+                "class %s has no %s member with the required parameters",
+                dict.className(inst.op.class_id).c_str(), isa.c_str());
+            return result;
+        }
+
+        TargetInst lowered;
+        lowered.inst_name = target->name;
+        lowered.isa = isa;
+        lowered.latency = target->latency;
+        lowered.op = variant;
+        lowered.args = inst.args;
+        lowered.int_args = inst.int_args;
+        result.program.insts.push_back(std::move(lowered));
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace hydride

@@ -1,0 +1,763 @@
+#include "codegen/macro_expand.h"
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace hydride {
+
+MacroExpander::MacroExpander(const AutoLLVMDict &dict, std::string isa,
+                             int vector_bits, ExpanderOptions options)
+    : dict_(dict), isa_(std::move(isa)), vector_bits_(vector_bits),
+      options_(std::move(options))
+{
+}
+
+int
+MacroExpander::refArity(MOp op) const
+{
+    switch (op) {
+      case MOp::AbsS:
+      case MOp::ShlImm:
+      case MOp::AShrImm:
+      case MOp::LShrImm:
+      case MOp::CastWidenS:
+      case MOp::CastWidenU:
+      case MOp::Narrow1Trunc:
+      case MOp::Narrow1SatS:
+      case MOp::Narrow1SatU:
+      case MOp::PairLo:
+      case MOp::PairHi:
+        return 1;
+      default:
+        return 2;
+    }
+}
+
+BitVector
+MacroExpander::reference(MOp op, const std::vector<BitVector> &args, int ew,
+                         int64_t imm) const
+{
+    const BitVector &a = args[0];
+    auto lanewise2 = [&](auto fn) {
+        const BitVector &b = args[1];
+        BitVector out(a.width());
+        for (int lane = 0; lane < a.width() / ew; ++lane) {
+            out.setSlice(lane * ew, fn(a.extract(lane * ew, ew),
+                                       b.extract(lane * ew, ew)));
+        }
+        return out;
+    };
+    auto lanewise1 = [&](auto fn) {
+        BitVector out(a.width());
+        for (int lane = 0; lane < a.width() / ew; ++lane)
+            out.setSlice(lane * ew, fn(a.extract(lane * ew, ew)));
+        return out;
+    };
+    using BV = BitVector;
+    switch (op) {
+      case MOp::Add:
+        return lanewise2([](BV x, BV y) { return x.add(y); });
+      case MOp::Sub:
+        return lanewise2([](BV x, BV y) { return x.sub(y); });
+      case MOp::Mul:
+        return lanewise2([](BV x, BV y) { return x.mul(y); });
+      case MOp::MinS:
+        return lanewise2([](BV x, BV y) { return x.minS(y); });
+      case MOp::MaxS:
+        return lanewise2([](BV x, BV y) { return x.maxS(y); });
+      case MOp::MinU:
+        return lanewise2([](BV x, BV y) { return x.minU(y); });
+      case MOp::MaxU:
+        return lanewise2([](BV x, BV y) { return x.maxU(y); });
+      case MOp::SatAddS:
+        return lanewise2([](BV x, BV y) { return x.addSatS(y); });
+      case MOp::SatAddU:
+        return lanewise2([](BV x, BV y) { return x.addSatU(y); });
+      case MOp::SatSubS:
+        return lanewise2([](BV x, BV y) { return x.subSatS(y); });
+      case MOp::SatSubU:
+        return lanewise2([](BV x, BV y) { return x.subSatU(y); });
+      case MOp::AvgU:
+        return lanewise2([](BV x, BV y) { return x.avgU(y); });
+      case MOp::AbsS:
+        return lanewise1([](BV x) { return x.absS(); });
+      case MOp::MulHi:
+        return lanewise2([&](BV x, BV y) {
+            return x.sext(2 * ew).mul(y.sext(2 * ew)).extract(ew, ew);
+        });
+      case MOp::ShlImm:
+        return lanewise1(
+            [&](BV x) { return x.shl(static_cast<int>(imm)); });
+      case MOp::AShrImm:
+        return lanewise1(
+            [&](BV x) { return x.ashr(static_cast<int>(imm)); });
+      case MOp::LShrImm:
+        return lanewise1(
+            [&](BV x) { return x.lshr(static_cast<int>(imm)); });
+      case MOp::CastWidenS:
+      case MOp::CastWidenU: {
+        // Input lanes are `ew/2` wide; output doubles each lane.
+        const int from = ew / 2;
+        BitVector out(a.width() * 2);
+        for (int lane = 0; lane < a.width() / from; ++lane) {
+            BitVector elem = a.extract(lane * from, from);
+            out.setSlice(lane * ew, op == MOp::CastWidenS ? elem.sext(ew)
+                                                          : elem.zext(ew));
+        }
+        return out;
+      }
+      case MOp::Narrow1Trunc:
+      case MOp::Narrow1SatS:
+      case MOp::Narrow1SatU: {
+        const int from = 2 * ew;
+        BitVector out(a.width() / 2);
+        for (int lane = 0; lane < a.width() / from; ++lane) {
+            BitVector elem = a.extract(lane * from, from);
+            BitVector narrow = op == MOp::Narrow1Trunc ? elem.trunc(ew)
+                               : op == MOp::Narrow1SatS ? elem.satNarrowS(ew)
+                                                        : elem.satNarrowU(ew);
+            out.setSlice(lane * ew, narrow);
+        }
+        return out;
+      }
+      case MOp::NarrowPair2Trunc:
+      case MOp::NarrowPair2SatS:
+      case MOp::NarrowPair2SatU:
+      case MOp::NarrowPair2TruncRev:
+      case MOp::NarrowPair2SatSRev:
+      case MOp::NarrowPair2SatURev: {
+        const int from = 2 * ew;
+        const bool reversed = op == MOp::NarrowPair2TruncRev ||
+                              op == MOp::NarrowPair2SatSRev ||
+                              op == MOp::NarrowPair2SatURev;
+        const BitVector &lo_src = reversed ? args[1] : args[0];
+        const BitVector &hi_src = reversed ? args[0] : args[1];
+        const bool trunc_kind = op == MOp::NarrowPair2Trunc ||
+                                op == MOp::NarrowPair2TruncRev;
+        const bool sat_s = op == MOp::NarrowPair2SatS ||
+                           op == MOp::NarrowPair2SatSRev;
+        BitVector out(a.width());
+        const int n = a.width() / from;
+        for (int half = 0; half < 2; ++half) {
+            const BitVector &src = half ? hi_src : lo_src;
+            for (int lane = 0; lane < n; ++lane) {
+                BitVector elem = src.extract(lane * from, from);
+                BitVector narrow = trunc_kind ? elem.trunc(ew)
+                                   : sat_s    ? elem.satNarrowS(ew)
+                                              : elem.satNarrowU(ew);
+                out.setSlice((half * n + lane) * ew, narrow);
+            }
+        }
+        return out;
+      }
+      case MOp::PairAdd: {
+        // [pairsums(a) | pairsums(b)], matching hadd and vpadd.
+        const BitVector &b = args[1];
+        const int n = a.width() / ew / 2;
+        BitVector out(a.width());
+        for (int half = 0; half < 2; ++half) {
+            const BitVector &src = half ? b : a;
+            for (int lane = 0; lane < n; ++lane) {
+                BitVector sum = src.extract(2 * lane * ew, ew)
+                                    .add(src.extract((2 * lane + 1) * ew,
+                                                     ew));
+                out.setSlice((half * n + lane) * ew, sum);
+            }
+        }
+        return out;
+      }
+      case MOp::DealPair: {
+        // HVX vdeal(Vu, Vv) semantics: evens of Vv (second argument)
+        // first, then evens of Vu, then the odds in the same order.
+        const BitVector &u = args[0];
+        const BitVector &v = args[1];
+        const int n = v.width() / ew;
+        BitVector out(2 * v.width());
+        for (int lane = 0; lane < n / 2; ++lane) {
+            out.setSlice(lane * ew, v.extract(2 * lane * ew, ew));
+            out.setSlice((n / 2 + lane) * ew,
+                         u.extract(2 * lane * ew, ew));
+            out.setSlice((n + lane) * ew,
+                         v.extract((2 * lane + 1) * ew, ew));
+            out.setSlice((n + n / 2 + lane) * ew,
+                         u.extract((2 * lane + 1) * ew, ew));
+        }
+        return out;
+      }
+      case MOp::PairLo:
+        return a.extract(0, a.width() / 2);
+      case MOp::PairHi:
+        return a.extract(a.width() / 2, a.width() / 2);
+      case MOp::ConcatHalves:
+        return BitVector::concat(args[1], args[0]);
+    }
+    panic("unhandled macro op");
+}
+
+std::optional<MacroExpander::Pick>
+MacroExpander::lookup(MOp op, int ew, int in_width)
+{
+    const PickKey key{op, ew, in_width};
+    auto cached = pick_cache_.find(key);
+    if (cached != pick_cache_.end())
+        return cached->second;
+
+    const int arity = refArity(op);
+    const bool wants_imm = op == MOp::ShlImm || op == MOp::AShrImm ||
+                           op == MOp::LShrImm;
+    std::optional<Pick> best;
+    Rng rng(0xAB5EED ^ (static_cast<uint64_t>(op) << 20) ^
+            (static_cast<uint64_t>(ew) << 8) ^ in_width);
+    // Probe immediates: 3 covers shift-amount distinctions.
+    const int64_t probe_imm = 3;
+
+    for (const auto &variant : dict_.isaVariants(isa_)) {
+        const EquivalenceClass &cls = dict_.cls(variant.class_id);
+        const ClassMember &member = cls.members[variant.member_index];
+        if (options_.allow && !options_.allow(member.name))
+            continue;
+        if (static_cast<int>(cls.rep.bv_args.size()) != arity)
+            continue;
+        if (static_cast<int>(cls.rep.int_args.size()) !=
+            (wants_imm ? 1 : 0)) {
+            continue;
+        }
+        if (best && member.latency >= best->latency)
+            continue;
+        bool widths_ok = true;
+        for (int a = 0; a < arity && widths_ok; ++a)
+            widths_ok = cls.rep.argWidth(a, member.param_values) == in_width;
+        if (!widths_ok)
+            continue;
+
+        // Evaluate the variant against the reference on random probes.
+        bool matches = true;
+        Rng probe_rng = rng;
+        int out_width = 0;
+        for (int trial = 0; trial < 3 && matches; ++trial) {
+            std::vector<BitVector> args;
+            for (int a = 0; a < arity; ++a)
+                args.push_back(BitVector::random(in_width, probe_rng));
+            const BitVector expected = reference(op, args, ew, probe_imm);
+            std::vector<int64_t> imms;
+            if (wants_imm)
+                imms.push_back(probe_imm);
+            if (cls.rep.outputWidth(member.param_values) !=
+                expected.width()) {
+                matches = false;
+                break;
+            }
+            // Feed the member's own argument order via arg_perm.
+            std::vector<BitVector> rep_args;
+            for (int a = 0; a < arity; ++a)
+                rep_args.push_back(args[a]);
+            const BitVector actual = dict_.run(variant, rep_args, imms);
+            out_width = actual.width();
+            matches = actual == expected;
+        }
+        if (matches) {
+            Pick pick;
+            pick.variant = variant;
+            pick.name = member.name;
+            pick.latency = member.latency;
+            pick.out_width = out_width;
+            pick.takes_imm = wants_imm;
+            best = pick;
+        }
+    }
+    pick_cache_[key] = best;
+    return best;
+}
+
+ValueRef
+MacroExpander::emit(const Pick &pick, std::vector<ValueRef> args,
+                    std::vector<int64_t> imms)
+{
+    TargetInst inst;
+    inst.inst_name = pick.name;
+    inst.isa = isa_;
+    inst.latency = pick.latency;
+    inst.op = pick.variant;
+    inst.args = std::move(args);
+    inst.int_args = std::move(imms);
+    program_.insts.push_back(std::move(inst));
+    return ValueRef::inst(static_cast<int>(program_.insts.size()) - 1);
+}
+
+ValueRef
+MacroExpander::emitOp(MOp op, int ew, std::vector<Chunk> args, int64_t imm,
+                      bool &ok)
+{
+    const int in_width = args[0].width;
+    std::optional<Pick> pick = lookup(op, ew, in_width);
+    if (!pick) {
+        ok = false;
+        return ValueRef::input(0);
+    }
+    std::vector<ValueRef> refs;
+    for (const auto &chunk : args)
+        refs.push_back(chunk.ref);
+    std::vector<int64_t> imms;
+    if (pick->takes_imm)
+        imms.push_back(imm);
+    return emit(*pick, std::move(refs), std::move(imms));
+}
+
+ValueRef
+MacroExpander::constChunk(int64_t value, int ew, int lanes)
+{
+    BitVector chunk(ew * lanes);
+    const BitVector elem = BitVector::fromInt(ew, value);
+    for (int lane = 0; lane < lanes; ++lane)
+        chunk.setSlice(lane * ew, elem);
+    program_.constants.push_back(std::move(chunk));
+    return ValueRef::constant(
+        static_cast<int>(program_.constants.size()) - 1);
+}
+
+MacroExpander::Chunked
+MacroExpander::fail(const std::string &message)
+{
+    if (ok_) {
+        ok_ = false;
+        error_ = message;
+    }
+    return {};
+}
+
+MacroExpander::Chunked
+MacroExpander::widenChunks(const Chunked &in, int ew, bool sign)
+{
+    Chunked out;
+    out.elem_width = ew;
+    const MOp cast = sign ? MOp::CastWidenS : MOp::CastWidenU;
+    for (const auto &chunk : in.chunks) {
+        // Each source chunk yields two destination chunks; the
+        // widening converts take the packed narrow half, so machine-
+        // width chunks are first split with PairLo/PairHi.
+        std::optional<Pick> direct = lookup(cast, ew, chunk.width);
+        if (direct) {
+            ValueRef wide = emit(*direct, {chunk.ref}, {});
+            if (2 * chunk.width > vector_bits_) {
+                // Pair-register result (HVX vunpack): address the two
+                // registers individually.
+                bool split_ok = true;
+                Chunk pair{wide, 2 * chunk.width};
+                ValueRef lo = emitOp(MOp::PairLo, ew, {pair}, 0, split_ok);
+                ValueRef hi = emitOp(MOp::PairHi, ew, {pair}, 0, split_ok);
+                if (!split_ok)
+                    return fail("cannot split a pair-register result");
+                out.chunks.push_back({lo, chunk.width});
+                out.chunks.push_back({hi, chunk.width});
+            } else {
+                out.chunks.push_back({wide, 2 * chunk.width});
+            }
+            continue;
+        }
+        bool split_ok = true;
+        ValueRef lo = emitOp(MOp::PairLo, ew, {chunk}, 0, split_ok);
+        ValueRef hi = emitOp(MOp::PairHi, ew, {chunk}, 0, split_ok);
+        if (!split_ok)
+            return fail("no widening cast path at this width");
+        Chunk lo_chunk{lo, chunk.width / 2};
+        Chunk hi_chunk{hi, chunk.width / 2};
+        bool cast_ok = true;
+        ValueRef lo_wide = emitOp(cast, ew, {lo_chunk}, 0, cast_ok);
+        ValueRef hi_wide = emitOp(cast, ew, {hi_chunk}, 0, cast_ok);
+        if (!cast_ok)
+            return fail("no widening cast instruction");
+        out.chunks.push_back({lo_wide, chunk.width});
+        out.chunks.push_back({hi_wide, chunk.width});
+    }
+    return out;
+}
+
+MacroExpander::Chunked
+MacroExpander::lowerNarrow(const Chunked &in, int ew, MOp one, MOp pair2)
+{
+    Chunked out;
+    out.elem_width = ew;
+    if (in.chunks.empty())
+        return fail("narrowing an empty value");
+    const int chunk_w = in.chunks[0].width;
+
+    // Preferred: a two-input full-register pack (x86 packs, HVX
+    // vpack/vsat families). HVX names its operands the other way
+    // around (Vv supplies the low half), so the reversed form is
+    // probed too and emitted with swapped operands.
+    MOp pair2_rev = pair2 == MOp::NarrowPair2Trunc ? MOp::NarrowPair2TruncRev
+                    : pair2 == MOp::NarrowPair2SatS
+                        ? MOp::NarrowPair2SatSRev
+                        : MOp::NarrowPair2SatURev;
+    if (in.chunks.size() % 2 == 0 &&
+        (lookup(pair2, ew, chunk_w) || lookup(pair2_rev, ew, chunk_w))) {
+        const bool reversed = !lookup(pair2, ew, chunk_w);
+        const MOp chosen = reversed ? pair2_rev : pair2;
+        for (size_t c = 0; c + 1 < in.chunks.size(); c += 2) {
+            bool op_ok = true;
+            const Chunk &lo = in.chunks[c];
+            const Chunk &hi = in.chunks[c + 1];
+            ValueRef ref =
+                reversed ? emitOp(chosen, ew, {hi, lo}, 0, op_ok)
+                         : emitOp(chosen, ew, {lo, hi}, 0, op_ok);
+            if (!op_ok)
+                return fail("pack lowering failed");
+            out.chunks.push_back({ref, chunk_w});
+        }
+        return out;
+    }
+
+    // Saturating narrows without a fused instruction (what a plain
+    // LLVM lowering does): clamp with min/max against splat bounds at
+    // the wide type, then truncate-narrow.
+    // (If a usable pair2 existed for an even chunk list, we already
+    // returned above.)
+    const bool saturating = one != MOp::Narrow1Trunc;
+    if (saturating && !lookup(one, ew, chunk_w)) {
+        const int wide = 2 * ew;
+        const bool uns = one == MOp::Narrow1SatU;
+        const int64_t hi_bound = uns ? (1ll << ew) - 1
+                                     : (1ll << (ew - 1)) - 1;
+        const int64_t lo_bound = uns ? 0 : -(1ll << (ew - 1));
+        Chunked clamped;
+        clamped.elem_width = wide;
+        for (const auto &chunk : in.chunks) {
+            const int lanes = chunk.width / wide;
+            Chunk hi_c{constChunk(hi_bound, wide, lanes), chunk.width};
+            Chunk lo_c{constChunk(lo_bound, wide, lanes), chunk.width};
+            bool op_ok = true;
+            ValueRef t = emitOp(MOp::MinS, wide, {chunk, hi_c}, 0, op_ok);
+            if (!op_ok)
+                return fail("no clamp path for saturating narrow");
+            ValueRef u = emitOp(MOp::MaxS, wide,
+                                {Chunk{t, chunk.width}, lo_c}, 0, op_ok);
+            if (!op_ok)
+                return fail("no clamp path for saturating narrow");
+            clamped.chunks.push_back({u, chunk.width});
+        }
+        return lowerNarrow(clamped, ew, MOp::Narrow1Trunc,
+                           MOp::NarrowPair2Trunc);
+    }
+
+    // Fallback: per-register narrowing convert producing half-width
+    // values, re-joined with a half-concatenation when available.
+    if (!lookup(one, ew, chunk_w))
+        return fail("no narrowing instruction at this width");
+    std::vector<Chunk> halves;
+    for (const auto &chunk : in.chunks) {
+        bool op_ok = true;
+        ValueRef ref = emitOp(one, ew, {chunk}, 0, op_ok);
+        if (!op_ok)
+            return fail("narrowing convert failed");
+        halves.push_back({ref, chunk_w / 2});
+    }
+    if (halves.size() % 2 == 0 && lookup(MOp::ConcatHalves, ew, chunk_w / 2)) {
+        for (size_t h = 0; h + 1 < halves.size(); h += 2) {
+            bool op_ok = true;
+            ValueRef ref = emitOp(MOp::ConcatHalves, ew,
+                                  {halves[h], halves[h + 1]}, 0, op_ok);
+            if (!op_ok)
+                return fail("half concatenation failed");
+            out.chunks.push_back({ref, chunk_w});
+        }
+        return out;
+    }
+    out.chunks = std::move(halves);
+    return out;
+}
+
+MacroExpander::Chunked
+MacroExpander::lowerReduce2(const Chunked &in, int ew)
+{
+    Chunked out;
+    out.elem_width = ew;
+    if (in.chunks.empty())
+        return fail("reducing an empty value");
+    const int chunk_w = in.chunks[0].width;
+
+    auto reduce_pair = [&](const Chunk &c0, const Chunk &c1,
+                           bool &ok) -> ValueRef {
+        // Strategy 1: a block-pairwise add (x86 hadd / ARM vpadd).
+        if (lookup(MOp::PairAdd, ew, chunk_w))
+            return emitOp(MOp::PairAdd, ew, {c0, c1}, 0, ok);
+        // Strategy 2: HVX-style deinterleave into a pair, then add
+        // the two pair halves (vdeal + vlo + vhi + vadd).
+        if (lookup(MOp::DealPair, ew, chunk_w)) {
+            ValueRef deal = emitOp(MOp::DealPair, ew, {c1, c0}, 0, ok);
+            if (!ok)
+                return ValueRef::input(0);
+            Chunk pair{deal, 2 * chunk_w};
+            ValueRef lo = emitOp(MOp::PairLo, ew, {pair}, 0, ok);
+            ValueRef hi = emitOp(MOp::PairHi, ew, {pair}, 0, ok);
+            if (!ok)
+                return ValueRef::input(0);
+            return emitOp(MOp::Add, ew,
+                          {Chunk{lo, chunk_w}, Chunk{hi, chunk_w}}, 0, ok);
+        }
+        ok = false;
+        return ValueRef::input(0);
+    };
+
+    if (in.chunks.size() % 2 == 0) {
+        for (size_t c = 0; c + 1 < in.chunks.size(); c += 2) {
+            bool op_ok = true;
+            ValueRef ref = reduce_pair(in.chunks[c], in.chunks[c + 1],
+                                       op_ok);
+            if (!op_ok)
+                return fail("no pairwise-reduction path on this target");
+            out.chunks.push_back({ref, chunk_w});
+        }
+        return out;
+    }
+
+    // Single chunk: reduce within one register, then keep the low
+    // half.
+    bool op_ok = true;
+    ValueRef full = reduce_pair(in.chunks[0], in.chunks[0], op_ok);
+    if (!op_ok)
+        return fail("no pairwise-reduction path on this target");
+    ValueRef lo = emitOp(MOp::PairLo, ew, {Chunk{full, chunk_w}}, 0, op_ok);
+    if (!op_ok)
+        return fail("no half extraction on this target");
+    out.chunks.push_back({lo, chunk_w / 2});
+    return out;
+}
+
+MacroExpander::Chunked
+MacroExpander::lower(const HExprPtr &expr)
+{
+    if (!ok_)
+        return {};
+    auto cached = cse_.find(expr.get());
+    if (cached != cse_.end())
+        return cached->second;
+    Chunked lowered = lowerUncached(expr);
+    if (ok_)
+        cse_.emplace(expr.get(), lowered);
+    return lowered;
+}
+
+MacroExpander::Chunked
+MacroExpander::lowerUncached(const HExprPtr &expr)
+{
+    const int ew = expr->elem_width;
+    Chunked out;
+    out.elem_width = ew;
+
+    switch (expr->op) {
+      case HOp::Input: {
+        const int total = expr->totalWidth();
+        // Inputs wider than a register arrive pre-split; the kernels
+        // in this repository size inputs to the machine width.
+        if (total > vector_bits_)
+            return fail("input wider than a machine register");
+        out.chunks.push_back({ValueRef::input(static_cast<int>(expr->imm)),
+                              total});
+        return out;
+      }
+      case HOp::ConstSplat: {
+        // Splat constants are materialized per machine register.
+        int remaining = expr->lanes;
+        const int lanes_per_chunk =
+            std::max(1, std::min(expr->lanes, vector_bits_ / ew));
+        while (remaining > 0) {
+            const int lanes = std::min(remaining, lanes_per_chunk);
+            out.chunks.push_back(
+                {constChunk(expr->imm, ew, lanes), lanes * ew});
+            remaining -= lanes;
+        }
+        return out;
+      }
+      case HOp::Cast: {
+        Chunked in = lower(expr->kids[0]);
+        if (!ok_)
+            return {};
+        const int from = expr->kids[0]->elem_width;
+        if (ew == from)
+            return in;
+        if (ew == 2 * from)
+            return widenChunks(in, ew, expr->sign);
+        if (from == 2 * ew) {
+            return lowerNarrow(in, ew, MOp::Narrow1Trunc,
+                               MOp::NarrowPair2Trunc);
+        }
+        return fail("unsupported cast ratio");
+      }
+      case HOp::SatNarrowS:
+      case HOp::SatNarrowU: {
+        Chunked in = lower(expr->kids[0]);
+        if (!ok_)
+            return {};
+        const int from = expr->kids[0]->elem_width;
+        if (from != 2 * ew)
+            return fail("saturating cast must halve the element width");
+        return expr->op == HOp::SatNarrowS
+                   ? lowerNarrow(in, ew, MOp::Narrow1SatS,
+                                 MOp::NarrowPair2SatS)
+                   : lowerNarrow(in, ew, MOp::Narrow1SatU,
+                                 MOp::NarrowPair2SatU);
+      }
+      case HOp::ReduceAdd: {
+        if (expr->imm != 2)
+            return fail("only stride-2 reductions are generated");
+        Chunked in = lower(expr->kids[0]);
+        if (!ok_)
+            return {};
+        return lowerReduce2(in, ew);
+      }
+      case HOp::Concat: {
+        Chunked lo = lower(expr->kids[0]);
+        Chunked hi = lower(expr->kids[1]);
+        if (!ok_)
+            return {};
+        out.chunks = lo.chunks;
+        out.chunks.insert(out.chunks.end(), hi.chunks.begin(),
+                          hi.chunks.end());
+        return out;
+      }
+      case HOp::ShlC:
+      case HOp::AShrC:
+      case HOp::LShrC: {
+        Chunked in = lower(expr->kids[0]);
+        if (!ok_)
+            return {};
+        const MOp mop = expr->op == HOp::ShlC    ? MOp::ShlImm
+                        : expr->op == HOp::AShrC ? MOp::AShrImm
+                                                 : MOp::LShrImm;
+        for (const auto &chunk : in.chunks) {
+            bool op_ok = true;
+            ValueRef ref = emitOp(mop, ew, {chunk}, expr->imm, op_ok);
+            if (!op_ok)
+                return fail("no shift instruction at this width");
+            out.chunks.push_back({ref, chunk.width});
+        }
+        return out;
+      }
+      case HOp::AbsS: {
+        Chunked in = lower(expr->kids[0]);
+        if (!ok_)
+            return {};
+        for (const auto &chunk : in.chunks) {
+            bool op_ok = true;
+            ValueRef ref = emitOp(MOp::AbsS, ew, {chunk}, 0, op_ok);
+            if (!op_ok)
+                return fail("no abs instruction at this width");
+            out.chunks.push_back({ref, chunk.width});
+        }
+        return out;
+      }
+      case HOp::Slice:
+        return fail("slice lowering is not needed by the kernels");
+      default: {
+        // Lane-wise binary operations.
+        Chunked a = lower(expr->kids[0]);
+        Chunked b = lower(expr->kids[1]);
+        if (!ok_)
+            return {};
+        if (a.chunks.size() != b.chunks.size())
+            return fail("operand chunk shapes diverge");
+        MOp mop;
+        switch (expr->op) {
+          case HOp::Add: mop = MOp::Add; break;
+          case HOp::Sub: mop = MOp::Sub; break;
+          case HOp::Mul: mop = MOp::Mul; break;
+          case HOp::MinS: mop = MOp::MinS; break;
+          case HOp::MaxS: mop = MOp::MaxS; break;
+          case HOp::MinU: mop = MOp::MinU; break;
+          case HOp::MaxU: mop = MOp::MaxU; break;
+          case HOp::SatAddS: mop = MOp::SatAddS; break;
+          case HOp::SatAddU: mop = MOp::SatAddU; break;
+          case HOp::SatSubS: mop = MOp::SatSubS; break;
+          case HOp::SatSubU: mop = MOp::SatSubU; break;
+          case HOp::AvgU: mop = MOp::AvgU; break;
+          case HOp::MulHiS: mop = MOp::MulHi; break;
+          default:
+            return fail(std::string("unsupported operator ") +
+                        hOpName(expr->op));
+        }
+        if (mop == MOp::MulHi &&
+            !lookup(MOp::MulHi, ew, a.chunks[0].width)) {
+            // No multiply-high on this target: widen both operands,
+            // multiply at double width, shift the products right by
+            // the element width and truncate back down.
+            Chunked wa = widenChunks(a, 2 * ew, true);
+            Chunked wb = widenChunks(b, 2 * ew, true);
+            if (!ok_)
+                return {};
+            Chunked prod;
+            prod.elem_width = 2 * ew;
+            for (size_t c = 0; c < wa.chunks.size(); ++c) {
+                bool op_ok = true;
+                ValueRef m = emitOp(MOp::Mul, 2 * ew,
+                                    {wa.chunks[c], wb.chunks[c]}, 0, op_ok);
+                if (!op_ok)
+                    return fail("no wide multiply for mulhi expansion");
+                ValueRef s = emitOp(MOp::LShrImm, 2 * ew,
+                                    {Chunk{m, wa.chunks[c].width}}, ew,
+                                    op_ok);
+                if (!op_ok)
+                    return fail("no shift for mulhi expansion");
+                prod.chunks.push_back({s, wa.chunks[c].width});
+            }
+            return lowerNarrow(prod, ew, MOp::Narrow1Trunc,
+                               MOp::NarrowPair2Trunc);
+        }
+        for (size_t c = 0; c < a.chunks.size(); ++c) {
+            if (a.chunks[c].width != b.chunks[c].width)
+                return fail("operand chunk width mismatch");
+            bool op_ok = true;
+            ValueRef ref = emitOp(mop, ew, {a.chunks[c], b.chunks[c]}, 0,
+                                  op_ok);
+            if (!op_ok)
+                return fail(std::string("no instruction for ") +
+                            hOpName(expr->op));
+            out.chunks.push_back({ref, a.chunks[c].width});
+        }
+        return out;
+      }
+    }
+}
+
+ExpandResult
+MacroExpander::expand(const HExprPtr &window)
+{
+    program_ = TargetProgram();
+    program_.isa = isa_;
+    error_.clear();
+    ok_ = true;
+    cse_.clear();
+
+    // Record input widths.
+    std::vector<const HExpr *> stack = {window.get()};
+    while (!stack.empty()) {
+        const HExpr *node = stack.back();
+        stack.pop_back();
+        if (node->op == HOp::Input) {
+            if (node->imm >=
+                static_cast<int64_t>(program_.input_widths.size()))
+                program_.input_widths.resize(node->imm + 1, 0);
+            program_.input_widths[node->imm] = node->totalWidth();
+        }
+        for (const auto &kid : node->kids)
+            stack.push_back(kid.get());
+    }
+
+    Chunked value = lower(window);
+    ExpandResult result;
+    if (!ok_) {
+        result.error = error_;
+        return result;
+    }
+    if (value.chunks.empty()) {
+        result.error = "window produced no value";
+        return result;
+    }
+    for (const auto &chunk : value.chunks)
+        program_.results.push_back(chunk.ref);
+    result.ok = true;
+    result.program = std::move(program_);
+    return result;
+}
+
+} // namespace hydride

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Direct macro expansion of Halide-IR windows to target programs.
+ *
+ * This is the straightforward, per-operation instruction selector: it
+ * maps each Halide vector operation onto the cheapest target
+ * instruction that implements exactly that operation, splitting
+ * values wider than a machine register into register-sized chunks
+ * (widening casts double the footprint, narrowing halves it, strided
+ * reductions consume chunk pairs).
+ *
+ * It plays three roles in the repository:
+ *  - it *is* the "Halide LLVM back end" baseline of Figure 6
+ *    (simple SIMD selection, no complex non-SIMD or cross-lane
+ *    instructions beyond what a conventional lowering would use);
+ *  - it is the fallback Hydride uses when synthesis fails or times
+ *    out for a window;
+ *  - the production-Halide-style backend builds on it, adding
+ *    hand-written pattern rules in front (see halide_backend.h).
+ *
+ * Instruction choice is by *observational* lookup: for each needed
+ * (operation, element width, lane count) the expander scans the
+ * dictionary's target variants and picks the cheapest one whose
+ * semantics match a reference implementation on random probes. This
+ * keeps the expander fully ISA-agnostic — it works unchanged for any
+ * ISA whose manual was ingested, which is the retargetability story
+ * of the paper applied to the baseline compiler itself.
+ */
+#ifndef HYDRIDE_CODEGEN_MACRO_EXPAND_H
+#define HYDRIDE_CODEGEN_MACRO_EXPAND_H
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "codegen/lowering.h"
+#include "halide/hexpr.h"
+
+namespace hydride {
+
+/** Restrictions that model weaker baseline compilers. */
+struct ExpanderOptions
+{
+    /**
+     * Only use instructions whose name passes this filter (empty =
+     * all). The Rake-comparison backend restricts to the subset of
+     * HVX/ARM instructions Rake supports.
+     */
+    std::function<bool(const std::string &inst_name)> allow;
+};
+
+/** Expansion outcome. */
+struct ExpandResult
+{
+    bool ok = false;
+    TargetProgram program;
+    std::string error;
+};
+
+/** Chunk-splitting instruction selector for one target ISA. */
+class MacroExpander
+{
+  public:
+    MacroExpander(const AutoLLVMDict &dict, std::string isa,
+                  int vector_bits, ExpanderOptions options = {});
+
+    /** Lower one Halide window into a target program. */
+    ExpandResult expand(const HExprPtr &window);
+
+    const AutoLLVMDict &dict() const { return dict_; }
+    const std::string &isa() const { return isa_; }
+
+  private:
+    struct Chunk
+    {
+        ValueRef ref;
+        int width = 0;
+    };
+    struct Chunked
+    {
+        int elem_width = 0;
+        std::vector<Chunk> chunks;
+    };
+
+    /** The internal op vocabulary looked up observationally. */
+    enum class MOp {
+        Add, Sub, Mul, MinS, MaxS, MinU, MaxU,
+        SatAddS, SatAddU, SatSubS, SatSubU,
+        AvgU, AbsS, MulHi,
+        ShlImm, AShrImm, LShrImm,
+        CastWidenS, CastWidenU,
+        Narrow1Trunc, Narrow1SatS, Narrow1SatU,
+        NarrowPair2Trunc, NarrowPair2SatS, NarrowPair2SatU,
+        /// Reversed-operand pack forms (HVX vpack takes Vv low):
+        NarrowPair2TruncRev, NarrowPair2SatSRev, NarrowPair2SatURev,
+        PairAdd,   ///< hadd/vpadd block-pairwise add.
+        DealPair,  ///< HVX vdeal: evens then odds of (b:a) pair.
+        PairLo, PairHi, ///< Pair/half extraction.
+        ConcatHalves,
+    };
+
+    struct PickKey
+    {
+        MOp op;
+        int ew;
+        int in_width;
+        bool operator<(const PickKey &other) const
+        {
+            return std::tie(op, ew, in_width) <
+                   std::tie(other.op, other.ew, other.in_width);
+        }
+    };
+
+    /** A resolved instruction choice. */
+    struct Pick
+    {
+        AutoOpVariant variant;
+        std::string name;
+        int latency = 1;
+        int out_width = 0;
+        bool takes_imm = false;
+    };
+
+    std::optional<Pick> lookup(MOp op, int ew, int in_width);
+    BitVector reference(MOp op, const std::vector<BitVector> &args, int ew,
+                        int64_t imm) const;
+    int refArity(MOp op) const;
+
+    Chunked lower(const HExprPtr &expr);
+    Chunked lowerUncached(const HExprPtr &expr);
+    Chunked widenChunks(const Chunked &in, int ew, bool sign);
+    Chunked lowerNarrow(const Chunked &in, int ew, MOp one, MOp pair2);
+    Chunked lowerReduce2(const Chunked &in, int ew);
+    ValueRef emit(const Pick &pick, std::vector<ValueRef> args,
+                  std::vector<int64_t> imms);
+    ValueRef emitOp(MOp op, int ew, std::vector<Chunk> args,
+                    int64_t imm, bool &ok);
+    ValueRef constChunk(int64_t value, int ew, int lanes);
+    Chunked fail(const std::string &message);
+
+    const AutoLLVMDict &dict_;
+    std::string isa_;
+    int vector_bits_;
+    ExpanderOptions options_;
+    std::map<PickKey, std::optional<Pick>> pick_cache_;
+
+    // Per-expansion state.
+    TargetProgram program_;
+    std::string error_;
+    bool ok_ = true;
+    /** CSE memo: shared HExpr nodes lower once (like LLVM's CSE). */
+    std::map<const HExpr *, Chunked> cse_;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_CODEGEN_MACRO_EXPAND_H

@@ -1,0 +1,577 @@
+#include "halide/kernels.h"
+
+#include "support/error.h"
+
+#include <functional>
+#include <map>
+
+namespace hydride {
+
+namespace {
+
+/**
+ * Helper that hands out consecutively numbered inputs of the kernel's
+ * vector shape and provides the recurring expression idioms.
+ */
+struct Ctx
+{
+    int vb;
+    int next_input = 0;
+
+    /** Fresh full-register input with `ew`-bit lanes. */
+    HExprPtr
+    in(int ew)
+    {
+        return hInput(next_input++, ew, vb / ew);
+    }
+
+    /** Fresh input with an explicit lane count. */
+    HExprPtr
+    inLanes(int ew, int lanes)
+    {
+        return hInput(next_input++, ew, lanes);
+    }
+
+    /** Widen unsigned 8-bit pixels to i16. */
+    HExprPtr
+    u8to16(HExprPtr pixels)
+    {
+        return hCast(std::move(pixels), 16, /*sign=*/false);
+    }
+
+    /** Balanced reduction of `values` under `op`. */
+    HExprPtr
+    tree(HOp op, std::vector<HExprPtr> values)
+    {
+        HYD_ASSERT(!values.empty(), "empty reduction");
+        while (values.size() > 1) {
+            std::vector<HExprPtr> next;
+            for (size_t v = 0; v + 1 < values.size(); v += 2)
+                next.push_back(hBin(op, values[v], values[v + 1]));
+            if (values.size() % 2)
+                next.push_back(values.back());
+            values = std::move(next);
+        }
+        return values[0];
+    }
+
+    /** The matmul dot-product window of the paper's Table 3:
+     *  acc + reduce-add(sext32(a) * sext32(b), 2). */
+    HExprPtr
+    dot2Acc()
+    {
+        HExprPtr acc = inLanes(32, vb / 32);
+        HExprPtr a = in(16);
+        HExprPtr b = in(16);
+        HExprPtr prod = hBin(HOp::Mul, hCast(a, 32, true),
+                             hCast(b, 32, true));
+        return hBin(HOp::Add, acc, hReduceAdd(prod, 2));
+    }
+
+    /** Fixed-point 2nd-order polynomial in x (i16), used by the
+     *  softmax/gelu approximations: ((x*k2 >> s) + k1)*x >> s + k0. */
+    HExprPtr
+    poly2(HExprPtr x, int64_t k0, int64_t k1, int64_t k2)
+    {
+        const int ew = x->elem_width;
+        const int lanes = x->lanes;
+        HExprPtr t = hBin(HOp::MulHiS, x, hConst(k2, ew, lanes));
+        t = hBin(HOp::Add, t, hConst(k1, ew, lanes));
+        t = hBin(HOp::MulHiS, t, x);
+        return hBin(HOp::Add, t, hConst(k0, ew, lanes));
+    }
+};
+
+using BuildFn = std::function<void(Ctx &, Kernel &)>;
+
+/** Separable stencil helper: one row-combine window, one column
+ *  window. Taps are weighted by shifts (w = 1, 2, 4, ...). */
+void
+stencilWindows(Ctx &ctx, Kernel &kernel, int taps,
+               const std::vector<int> &log_weights, int post_shift)
+{
+    // Row window: widen u8 taps and accumulate the weighted sum. The
+    // result spans two registers (widening doubles the footprint).
+    {
+        Ctx local = ctx;
+        local.next_input = 0;
+        std::vector<HExprPtr> weighted;
+        for (int t = 0; t < taps; ++t) {
+            HExprPtr tap = local.u8to16(local.in(8));
+            if (log_weights[t] > 0)
+                tap = hShift(HOp::ShlC, tap, log_weights[t]);
+            weighted.push_back(std::move(tap));
+        }
+        kernel.windows.push_back(local.tree(HOp::Add, std::move(weighted)));
+    }
+    // Column window: combine the i16 column sums of two adjacent
+    // output register halves, scale down and narrow back to u8 at the
+    // natural (full-register) output width.
+    {
+        Ctx local = ctx;
+        local.next_input = 0;
+        auto half_sum = [&]() {
+            std::vector<HExprPtr> col;
+            for (int t = 0; t < taps; ++t) {
+                HExprPtr tap = local.in(16);
+                if (log_weights[t] > 0)
+                    tap = hShift(HOp::ShlC, tap, log_weights[t]);
+                col.push_back(std::move(tap));
+            }
+            return local.tree(HOp::Add, std::move(col));
+        };
+        HExprPtr sum = hConcat(half_sum(), half_sum());
+        sum = hShift(HOp::LShrC, sum, post_shift);
+        kernel.windows.push_back(hSatNarrow(sum, 8, /*sign=*/false));
+    }
+}
+
+/** Box blur: rows summed, then normalized by a fixed-point
+ *  reciprocal multiply. */
+void
+boxBlurWindows(Ctx &ctx, Kernel &kernel, int taps)
+{
+    Ctx rows = ctx;
+    rows.next_input = 0;
+    std::vector<HExprPtr> row_taps;
+    for (int t = 0; t < taps; ++t)
+        row_taps.push_back(rows.u8to16(rows.in(8)));
+    kernel.windows.push_back(rows.tree(HOp::Add, std::move(row_taps)));
+
+    Ctx cols = ctx;
+    cols.next_input = 0;
+    auto half_sum = [&]() {
+        std::vector<HExprPtr> col_taps;
+        for (int t = 0; t < taps; ++t)
+            col_taps.push_back(cols.in(16));
+        return cols.tree(HOp::Add, std::move(col_taps));
+    };
+    HExprPtr sum = hConcat(half_sum(), half_sum());
+    // Multiply by reciprocal of taps^2 in Q15 and narrow.
+    const int64_t recip = (1 << 15) / (taps * taps);
+    HExprPtr scaled = hBin(HOp::MulHiS, sum, hConst(recip, 16, sum->lanes));
+    kernel.windows.push_back(hSatNarrow(scaled, 8, /*sign=*/false));
+}
+
+/** Morphology: separable min/max stencils on u8 pixels. */
+void
+morphWindows(Ctx &ctx, Kernel &kernel, int taps, HOp op)
+{
+    for (int dim = 0; dim < 2; ++dim) {
+        Ctx local = ctx;
+        local.next_input = 0;
+        std::vector<HExprPtr> values;
+        for (int t = 0; t < taps; ++t)
+            values.push_back(local.in(8));
+        kernel.windows.push_back(local.tree(op, std::move(values)));
+    }
+}
+
+/** Sobel gradient: |gx| + |gy| with saturating narrowing. */
+void
+sobelWindows(Ctx &ctx, Kernel &kernel, int radius)
+{
+    // One gradient window per direction plus the combine window.
+    for (int dim = 0; dim < 2; ++dim) {
+        Ctx local = ctx;
+        local.next_input = 0;
+        std::vector<HExprPtr> plus;
+        std::vector<HExprPtr> minus;
+        for (int t = 0; t < radius + 1; ++t) {
+            HExprPtr a = local.u8to16(local.in(8));
+            if (t == radius / 2)
+                a = hShift(HOp::ShlC, a, 1);
+            plus.push_back(std::move(a));
+        }
+        for (int t = 0; t < radius + 1; ++t) {
+            HExprPtr b = local.u8to16(local.in(8));
+            if (t == radius / 2)
+                b = hShift(HOp::ShlC, b, 1);
+            minus.push_back(std::move(b));
+        }
+        HExprPtr grad = hBin(HOp::Sub, local.tree(HOp::Add, plus),
+                             local.tree(HOp::Add, minus));
+        kernel.windows.push_back(hAbs(std::move(grad)));
+    }
+    Ctx combine = ctx;
+    combine.next_input = 0;
+    HExprPtr gx = hConcat(combine.in(16), combine.in(16));
+    HExprPtr gy = hConcat(combine.in(16), combine.in(16));
+    kernel.windows.push_back(
+        hSatNarrow(hBin(HOp::SatAddS, gx, gy), 8, /*sign=*/false));
+}
+
+/** The median-of-9 min/max exchange network used by Halide. */
+void
+medianWindows(Ctx &ctx, Kernel &kernel)
+{
+    Ctx local = ctx;
+    std::vector<HExprPtr> px;
+    for (int t = 0; t < 9; ++t)
+        px.push_back(local.in(8));
+    auto exchange = [&](int i, int j) {
+        HExprPtr lo = hBin(HOp::MinU, px[i], px[j]);
+        HExprPtr hi = hBin(HOp::MaxU, px[i], px[j]);
+        px[i] = lo;
+        px[j] = hi;
+    };
+    // Paeth's 19-exchange median-of-9 network.
+    exchange(1, 2); exchange(4, 5); exchange(7, 8);
+    exchange(0, 1); exchange(3, 4); exchange(6, 7);
+    exchange(1, 2); exchange(4, 5); exchange(7, 8);
+    exchange(0, 3); exchange(5, 8); exchange(4, 7);
+    exchange(3, 6); exchange(1, 4); exchange(2, 5);
+    exchange(4, 7); exchange(4, 2); exchange(6, 4);
+    exchange(4, 2);
+    kernel.windows.push_back(px[4]);
+}
+
+/** Table of all 33 kernels. */
+const std::map<std::string, BuildFn> &
+builders()
+{
+    static const std::map<std::string, BuildFn> table = {
+        {"sobel3x3",
+         [](Ctx &c, Kernel &k) {
+             sobelWindows(c, k, 2);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"sobel5x5",
+         [](Ctx &c, Kernel &k) {
+             sobelWindows(c, k, 4);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"dilate3x3",
+         [](Ctx &c, Kernel &k) {
+             morphWindows(c, k, 3, HOp::MaxU);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"dilate5x5",
+         [](Ctx &c, Kernel &k) {
+             morphWindows(c, k, 5, HOp::MaxU);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"dilate7x7",
+         [](Ctx &c, Kernel &k) {
+             morphWindows(c, k, 7, HOp::MaxU);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"boxblur3x3",
+         [](Ctx &c, Kernel &k) {
+             boxBlurWindows(c, k, 3);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"boxblur5x5",
+         [](Ctx &c, Kernel &k) {
+             boxBlurWindows(c, k, 5);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"blur7x7",
+         [](Ctx &c, Kernel &k) {
+             boxBlurWindows(c, k, 7);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"median3x3",
+         [](Ctx &c, Kernel &k) {
+             medianWindows(c, k);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"gaussian3x3",
+         [](Ctx &c, Kernel &k) {
+             stencilWindows(c, k, 3, {0, 1, 0}, 4);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"gaussian5x5",
+         [](Ctx &c, Kernel &k) {
+             stencilWindows(c, k, 5, {0, 2, 2, 2, 0}, 6);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"gaussian7x7",
+         [](Ctx &c, Kernel &k) {
+             stencilWindows(c, k, 7, {0, 1, 3, 4, 3, 1, 0}, 8);
+             k.iterations = 4e6 / (c.vb / 8);
+         }},
+        {"l2norm",
+         [](Ctx &c, Kernel &k) {
+             HExprPtr x = c.in(16);
+             HExprPtr acc = c.inLanes(32, c.vb / 32);
+             HExprPtr sq = hBin(HOp::Mul, hCast(x, 32, true),
+                                hCast(x, 32, true));
+             k.windows.push_back(hBin(HOp::Add, acc, hReduceAdd(sq, 2)));
+             k.iterations = 2e6 / (c.vb / 16);
+         }},
+        {"conv_nn",
+         [](Ctx &c, Kernel &k) {
+             // Table 3 row 3: cast, mul, reduce-add 2, accumulate.
+             HExprPtr a = c.in(16);
+             HExprPtr b = c.in(16);
+             HExprPtr acc = c.inLanes(32, c.vb / 32);
+             HExprPtr prod = hBin(HOp::Mul, hCast(a, 32, true),
+                                  hCast(b, 32, true));
+             k.windows.push_back(hBin(HOp::Add, hReduceAdd(prod, 2), acc));
+             k.iterations = 1.6e7 / (c.vb / 16);
+         }},
+        {"conv3x3a16",
+         [](Ctx &c, Kernel &k) {
+             for (int row = 0; row < 3; ++row) {
+                 Ctx local = c;
+                 local.next_input = 0;
+                 k.windows.push_back(local.dot2Acc());
+             }
+             k.iterations = 8e6 / (c.vb / 16);
+         }},
+        {"depthwise_conv",
+         [](Ctx &c, Kernel &k) {
+             Ctx local = c;
+             k.windows.push_back(local.dot2Acc());
+             Ctx local2 = c;
+             local2.next_input = 0;
+             k.windows.push_back(local2.dot2Acc());
+             k.iterations = 8e6 / (c.vb / 16);
+         }},
+        {"average_pool",
+         [](Ctx &c, Kernel &k) {
+             HExprPtr a = c.in(8);
+             HExprPtr b = c.in(8);
+             HExprPtr d = c.in(8);
+             HExprPtr e = c.in(8);
+             k.windows.push_back(hBin(HOp::AvgU, hBin(HOp::AvgU, a, b),
+                                      hBin(HOp::AvgU, d, e)));
+             k.iterations = 2e6 / (c.vb / 8);
+         }},
+        {"max_pool",
+         [](Ctx &c, Kernel &k) {
+             HExprPtr a = c.in(8);
+             HExprPtr b = c.in(8);
+             HExprPtr d = c.in(8);
+             HExprPtr e = c.in(8);
+             k.windows.push_back(hBin(HOp::MaxU, hBin(HOp::MaxU, a, b),
+                                      hBin(HOp::MaxU, d, e)));
+             k.iterations = 2e6 / (c.vb / 8);
+         }},
+        {"fully_connected",
+         [](Ctx &c, Kernel &k) {
+             Ctx local = c;
+             k.windows.push_back(local.dot2Acc());
+             Ctx bias = c;
+             bias.next_input = 0;
+             HExprPtr acc = bias.inLanes(32, c.vb / 32);
+             HExprPtr b = bias.inLanes(32, c.vb / 32);
+             k.windows.push_back(hBin(HOp::Add, acc, b));
+             k.iterations = 8e6 / (c.vb / 16);
+         }},
+        {"add",
+         [](Ctx &c, Kernel &k) {
+             HExprPtr a = c.in(8);
+             HExprPtr b = c.in(8);
+             k.windows.push_back(hBin(HOp::SatAddU, a, b));
+             k.iterations = 2e6 / (c.vb / 8);
+         }},
+        {"mul",
+         [](Ctx &c, Kernel &k) {
+             // Fixed-point i16 multiply: high half of the product.
+             HExprPtr a = c.in(16);
+             HExprPtr b = c.in(16);
+             k.windows.push_back(hShift(HOp::ShlC,
+                                        hBin(HOp::MulHiS, a, b), 1));
+             k.iterations = 2e6 / (c.vb / 16);
+         }},
+        {"softmax",
+         [](Ctx &c, Kernel &k) {
+             // Window 1: subtract the running maximum.
+             Ctx w1 = c;
+             HExprPtr x = w1.in(16);
+             HExprPtr m = w1.in(16);
+             k.windows.push_back(hBin(HOp::Sub, x, hBin(HOp::MaxS, x, m)));
+             // Window 2: fixed-point exp approximation.
+             Ctx w2 = c;
+             w2.next_input = 0;
+             k.windows.push_back(w2.poly2(w2.in(16), 16384, 16384, 8192));
+             // Window 3: normalize by the reciprocal of the sum.
+             Ctx w3 = c;
+             w3.next_input = 0;
+             HExprPtr e = w3.in(16);
+             HExprPtr recip = w3.in(16);
+             k.windows.push_back(hBin(HOp::MulHiS, e, recip));
+             k.iterations = 2e6 / (c.vb / 16);
+         }},
+        {"matmul_b1",
+         [](Ctx &c, Kernel &k) {
+             k.windows.push_back(c.dot2Acc());
+             k.iterations = 1.6e7 / (c.vb / 16);
+         }},
+        {"matmul_b2",
+         [](Ctx &c, Kernel &k) {
+             for (int b = 0; b < 2; ++b) {
+                 Ctx local = c;
+                 local.next_input = 0;
+                 k.windows.push_back(local.dot2Acc());
+             }
+             k.iterations = 1.6e7 / (c.vb / 16);
+         }},
+        {"matmul_b4",
+         [](Ctx &c, Kernel &k) {
+             for (int b = 0; b < 4; ++b) {
+                 Ctx local = c;
+                 local.next_input = 0;
+                 k.windows.push_back(local.dot2Acc());
+             }
+             k.iterations = 1.6e7 / (c.vb / 16);
+         }},
+        {"average_pool_add",
+         [](Ctx &c, Kernel &k) {
+             Ctx w1 = c;
+             HExprPtr a = w1.in(8);
+             HExprPtr b = w1.in(8);
+             HExprPtr d = w1.in(8);
+             HExprPtr e = w1.in(8);
+             k.windows.push_back(hBin(HOp::AvgU, hBin(HOp::AvgU, a, b),
+                                      hBin(HOp::AvgU, d, e)));
+             Ctx w2 = c;
+             w2.next_input = 0;
+             k.windows.push_back(
+                 hBin(HOp::SatAddU, w2.in(8), w2.in(8)));
+             k.iterations = 2e6 / (c.vb / 8);
+         }},
+        {"max_pool_add",
+         [](Ctx &c, Kernel &k) {
+             Ctx w1 = c;
+             HExprPtr a = w1.in(8);
+             HExprPtr b = w1.in(8);
+             k.windows.push_back(hBin(HOp::MaxU, a, b));
+             Ctx w2 = c;
+             w2.next_input = 0;
+             k.windows.push_back(
+                 hBin(HOp::SatAddU, w2.in(8), w2.in(8)));
+             k.iterations = 2e6 / (c.vb / 8);
+         }},
+        {"matmul_bias",
+         [](Ctx &c, Kernel &k) {
+             Ctx w1 = c;
+             k.windows.push_back(w1.dot2Acc());
+             Ctx w2 = c;
+             w2.next_input = 0;
+             k.windows.push_back(hBin(HOp::Add, w2.inLanes(32, c.vb / 32),
+                                      w2.inLanes(32, c.vb / 32)));
+             k.iterations = 1.6e7 / (c.vb / 16);
+         }},
+        {"matmul_bias_relu",
+         [](Ctx &c, Kernel &k) {
+             Ctx w1 = c;
+             k.windows.push_back(w1.dot2Acc());
+             Ctx w2 = c;
+             w2.next_input = 0;
+             HExprPtr biased = hBin(HOp::Add, w2.inLanes(32, c.vb / 32),
+                                    w2.inLanes(32, c.vb / 32));
+             k.windows.push_back(
+                 hBin(HOp::MaxS, biased, hConst(0, 32, c.vb / 32)));
+             k.iterations = 1.6e7 / (c.vb / 16);
+         }},
+        {"matmul_bias_gelu",
+         [](Ctx &c, Kernel &k) {
+             Ctx w1 = c;
+             k.windows.push_back(w1.dot2Acc());
+             Ctx w2 = c;
+             w2.next_input = 0;
+             HExprPtr lo = hBin(HOp::Add, w2.inLanes(32, c.vb / 32),
+                                w2.inLanes(32, c.vb / 32));
+             HExprPtr hi = hBin(HOp::Add, w2.inLanes(32, c.vb / 32),
+                                w2.inLanes(32, c.vb / 32));
+             k.windows.push_back(
+                 hSatNarrow(hConcat(lo, hi), 16, true));
+             Ctx w3 = c;
+             w3.next_input = 0;
+             HExprPtr x = w3.in(16);
+             HExprPtr gate = w3.poly2(x, 16384, 12000, -4000);
+             k.windows.push_back(hBin(HOp::MulHiS, x, gate));
+             k.iterations = 1.6e7 / (c.vb / 16);
+         }},
+        {"matmul_bias_add",
+         [](Ctx &c, Kernel &k) {
+             Ctx w1 = c;
+             k.windows.push_back(w1.dot2Acc());
+             Ctx w2 = c;
+             w2.next_input = 0;
+             HExprPtr biased = hBin(HOp::Add, w2.inLanes(32, c.vb / 32),
+                                    w2.inLanes(32, c.vb / 32));
+             k.windows.push_back(
+                 hBin(HOp::Add, biased, w2.inLanes(32, c.vb / 32)));
+             k.iterations = 1.6e7 / (c.vb / 16);
+         }},
+        {"matmul_bias_relu_matmul",
+         [](Ctx &c, Kernel &k) {
+             for (int stage = 0; stage < 2; ++stage) {
+                 Ctx w = c;
+                 w.next_input = 0;
+                 k.windows.push_back(w.dot2Acc());
+             }
+             Ctx w2 = c;
+             w2.next_input = 0;
+             HExprPtr biased = hBin(HOp::Add, w2.inLanes(32, c.vb / 32),
+                                    w2.inLanes(32, c.vb / 32));
+             k.windows.push_back(
+                 hBin(HOp::MaxS, biased, hConst(0, 32, c.vb / 32)));
+             k.iterations = 3.2e7 / (c.vb / 16);
+         }},
+        {"matmul_bias_gelu_matmul",
+         [](Ctx &c, Kernel &k) {
+             for (int stage = 0; stage < 2; ++stage) {
+                 Ctx w = c;
+                 w.next_input = 0;
+                 k.windows.push_back(w.dot2Acc());
+             }
+             Ctx w3 = c;
+             w3.next_input = 0;
+             HExprPtr x = w3.in(16);
+             HExprPtr gate = w3.poly2(x, 16384, 12000, -4000);
+             k.windows.push_back(hBin(HOp::MulHiS, x, gate));
+             k.iterations = 3.2e7 / (c.vb / 16);
+         }},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+kernelNames()
+{
+    static const std::vector<std::string> names = {
+        "sobel3x3", "sobel5x5", "dilate3x3", "dilate5x5", "dilate7x7",
+        "boxblur3x3", "boxblur5x5", "blur7x7", "median3x3", "gaussian3x3",
+        "gaussian5x5", "gaussian7x7", "l2norm", "conv_nn", "conv3x3a16",
+        "depthwise_conv", "average_pool", "max_pool", "fully_connected",
+        "add", "mul", "softmax", "matmul_b1", "matmul_b2", "matmul_b4",
+        "average_pool_add", "max_pool_add", "matmul_bias",
+        "matmul_bias_relu", "matmul_bias_gelu", "matmul_bias_add",
+        "matmul_bias_relu_matmul", "matmul_bias_gelu_matmul",
+    };
+    return names;
+}
+
+Kernel
+buildKernel(const std::string &name, const Schedule &schedule)
+{
+    auto it = builders().find(name);
+    if (it == builders().end())
+        fatal("unknown kernel `" + name + "`");
+    Kernel kernel;
+    kernel.name = name;
+    kernel.schedule = schedule;
+    Ctx ctx{schedule.vector_bits};
+    it->second(ctx, kernel);
+
+    // Unrolling duplicates window instances without changing shapes.
+    if (schedule.unroll > 1) {
+        std::vector<HExprPtr> unrolled;
+        for (int u = 0; u < schedule.unroll; ++u)
+            for (const auto &window : kernel.windows)
+                unrolled.push_back(window);
+        kernel.windows = std::move(unrolled);
+        kernel.iterations /= schedule.unroll;
+    }
+    kernel.iterations *= 64.0 / schedule.tile / 8.0;
+    return kernel;
+}
+
+} // namespace hydride

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The 33 benchmark kernels of the paper's evaluation (§6, Table 4),
+ * expressed as scheduled Halide-IR vector expressions.
+ *
+ * Each kernel is a set of expression *windows*: the vectorized inner-
+ * loop bodies that remain after scheduling, exactly what Hydride's
+ * synthesizer consumes. A schedule controls the vectorization factor
+ * (which reshapes the windows) and tiling/unrolling (which changes
+ * how many window instances the compiler must translate and how many
+ * iterations execute, but — as the paper's Table 4 column IV relies
+ * on — not the window shapes themselves).
+ */
+#ifndef HYDRIDE_HALIDE_KERNELS_H
+#define HYDRIDE_HALIDE_KERNELS_H
+
+#include <string>
+#include <vector>
+
+#include "halide/hexpr.h"
+
+namespace hydride {
+
+/** Scheduling knobs relevant to code generation. */
+struct Schedule
+{
+    /** Vector register width the kernel was vectorized for. */
+    int vector_bits = 256;
+    /** Inner-loop unroll factor (duplicates window instances). */
+    int unroll = 1;
+    /** Tile edge; affects the dynamic iteration count only. */
+    int tile = 8;
+};
+
+/** A scheduled kernel: expression windows plus dynamic work. */
+struct Kernel
+{
+    std::string name;
+    Schedule schedule;
+    /** Vectorized inner-loop expression windows, in program order.
+     *  Unrolled copies appear as repeated (shared) pointers. */
+    std::vector<HExprPtr> windows;
+    /** Dynamic executions of the whole window list per kernel run. */
+    double iterations = 1.0;
+};
+
+/** The 33 benchmark names, in the paper's Table 4 order. */
+const std::vector<std::string> &kernelNames();
+
+/** Build a kernel by name; fatal on unknown names. */
+Kernel buildKernel(const std::string &name, const Schedule &schedule);
+
+} // namespace hydride
+
+#endif // HYDRIDE_HALIDE_KERNELS_H

@@ -1,0 +1,559 @@
+#include "hir/bitvector.h"
+
+#include "support/error.h"
+#include "support/rng.h"
+
+#include <algorithm>
+
+namespace hydride {
+
+BitVector::BitVector(int width)
+    : width_(width), words_(wordCount(width), 0)
+{
+    HYD_ASSERT(width >= 1 && width <= kMaxWidth, "bitvector width out of range");
+}
+
+BitVector
+BitVector::fromUint(int width, uint64_t value)
+{
+    BitVector bv(width);
+    bv.words_[0] = value;
+    bv.clearUnusedBits();
+    return bv;
+}
+
+BitVector
+BitVector::fromInt(int width, int64_t value)
+{
+    BitVector bv(width);
+    const uint64_t pattern = value < 0 ? ~0ull : 0ull;
+    for (auto &word : bv.words_)
+        word = pattern;
+    bv.words_[0] = static_cast<uint64_t>(value);
+    if (value < 0 && width > 64) {
+        // Upper words already all-ones from the fill above.
+    }
+    bv.clearUnusedBits();
+    return bv;
+}
+
+BitVector
+BitVector::allOnes(int width)
+{
+    BitVector bv(width);
+    for (auto &word : bv.words_)
+        word = ~0ull;
+    bv.clearUnusedBits();
+    return bv;
+}
+
+BitVector
+BitVector::random(int width, Rng &rng)
+{
+    BitVector bv(width);
+    for (auto &word : bv.words_)
+        word = rng.next();
+    bv.clearUnusedBits();
+    return bv;
+}
+
+void
+BitVector::clearUnusedBits()
+{
+    const int used = width_ % 64;
+    if (used != 0)
+        words_.back() &= (~0ull >> (64 - used));
+}
+
+bool
+BitVector::getBit(int index) const
+{
+    HYD_ASSERT(index >= 0 && index < width_, "bit index out of range");
+    return (words_[index / 64] >> (index % 64)) & 1;
+}
+
+void
+BitVector::setBit(int index, bool value)
+{
+    HYD_ASSERT(index >= 0 && index < width_, "bit index out of range");
+    const uint64_t mask = 1ull << (index % 64);
+    if (value)
+        words_[index / 64] |= mask;
+    else
+        words_[index / 64] &= ~mask;
+}
+
+uint64_t
+BitVector::toUint64() const
+{
+    return words_[0];
+}
+
+int64_t
+BitVector::toInt64() const
+{
+    HYD_ASSERT(width_ <= 64, "toInt64 requires width <= 64");
+    uint64_t value = words_[0];
+    if (width_ < 64 && (value >> (width_ - 1)) & 1)
+        value |= ~0ull << width_;
+    return static_cast<int64_t>(value);
+}
+
+bool
+BitVector::isZero() const
+{
+    for (uint64_t word : words_)
+        if (word != 0)
+            return false;
+    return true;
+}
+
+std::string
+BitVector::toHex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    const int nibbles = (width_ + 3) / 4;
+    std::string out(nibbles, '0');
+    for (int n = 0; n < nibbles; ++n) {
+        const int bit = n * 4;
+        uint64_t nib = (words_[bit / 64] >> (bit % 64)) & 0xF;
+        if (bit % 64 > 60 && bit / 64 + 1 < static_cast<int>(words_.size()))
+            nib |= (words_[bit / 64 + 1] << (64 - bit % 64)) & 0xF;
+        out[nibbles - 1 - n] = digits[nib];
+    }
+    return out;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return width_ == other.width_ && words_ == other.words_;
+}
+
+uint64_t
+BitVector::hash() const
+{
+    uint64_t h = 0x9E3779B97F4A7C15ull ^ static_cast<uint64_t>(width_);
+    for (uint64_t word : words_) {
+        h ^= word + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+}
+
+BitVector
+BitVector::zext(int new_width) const
+{
+    HYD_ASSERT(new_width >= width_, "zext must not shrink");
+    BitVector out(new_width);
+    std::copy(words_.begin(), words_.end(), out.words_.begin());
+    return out;
+}
+
+BitVector
+BitVector::sext(int new_width) const
+{
+    HYD_ASSERT(new_width >= width_, "sext must not shrink");
+    BitVector out(new_width);
+    std::copy(words_.begin(), words_.end(), out.words_.begin());
+    if (signBit()) {
+        // Fill bits [width_, new_width) with ones.
+        for (int bit = width_; bit < new_width; ++bit)
+            out.words_[bit / 64] |= 1ull << (bit % 64);
+    }
+    out.clearUnusedBits();
+    return out;
+}
+
+BitVector
+BitVector::trunc(int new_width) const
+{
+    HYD_ASSERT(new_width <= width_, "trunc must not grow");
+    BitVector out(new_width);
+    std::copy(words_.begin(), words_.begin() + wordCount(new_width),
+              out.words_.begin());
+    out.clearUnusedBits();
+    return out;
+}
+
+BitVector
+BitVector::extract(int low, int count) const
+{
+    HYD_ASSERT(low >= 0 && count >= 1 && low + count <= width_,
+               "extract slice out of range");
+    BitVector out(count);
+    const int word_shift = low / 64;
+    const int bit_shift = low % 64;
+    for (int w = 0; w < wordCount(count); ++w) {
+        uint64_t value = words_[word_shift + w] >> bit_shift;
+        if (bit_shift != 0 &&
+            word_shift + w + 1 < static_cast<int>(words_.size())) {
+            value |= words_[word_shift + w + 1] << (64 - bit_shift);
+        }
+        out.words_[w] = value;
+    }
+    out.clearUnusedBits();
+    return out;
+}
+
+void
+BitVector::setSlice(int low, const BitVector &value)
+{
+    HYD_ASSERT(low >= 0 && low + value.width_ <= width_,
+               "setSlice out of range");
+    for (int bit = 0; bit < value.width_; ++bit)
+        setBit(low + bit, value.getBit(bit));
+}
+
+BitVector
+BitVector::concat(const BitVector &high, const BitVector &low)
+{
+    BitVector out(high.width_ + low.width_);
+    out.setSlice(0, low);
+    out.setSlice(low.width_, high);
+    return out;
+}
+
+BitVector
+BitVector::bvand(const BitVector &other) const
+{
+    HYD_ASSERT(width_ == other.width_, "bvand width mismatch");
+    BitVector out(width_);
+    for (size_t w = 0; w < words_.size(); ++w)
+        out.words_[w] = words_[w] & other.words_[w];
+    return out;
+}
+
+BitVector
+BitVector::bvor(const BitVector &other) const
+{
+    HYD_ASSERT(width_ == other.width_, "bvor width mismatch");
+    BitVector out(width_);
+    for (size_t w = 0; w < words_.size(); ++w)
+        out.words_[w] = words_[w] | other.words_[w];
+    return out;
+}
+
+BitVector
+BitVector::bvxor(const BitVector &other) const
+{
+    HYD_ASSERT(width_ == other.width_, "bvxor width mismatch");
+    BitVector out(width_);
+    for (size_t w = 0; w < words_.size(); ++w)
+        out.words_[w] = words_[w] ^ other.words_[w];
+    return out;
+}
+
+BitVector
+BitVector::bvnot() const
+{
+    BitVector out(width_);
+    for (size_t w = 0; w < words_.size(); ++w)
+        out.words_[w] = ~words_[w];
+    out.clearUnusedBits();
+    return out;
+}
+
+BitVector
+BitVector::shl(int amount) const
+{
+    HYD_ASSERT(amount >= 0, "negative shift");
+    BitVector out(width_);
+    if (amount >= width_)
+        return out;
+    for (int bit = width_ - 1; bit >= amount; --bit)
+        out.setBit(bit, getBit(bit - amount));
+    return out;
+}
+
+BitVector
+BitVector::lshr(int amount) const
+{
+    HYD_ASSERT(amount >= 0, "negative shift");
+    BitVector out(width_);
+    if (amount >= width_)
+        return out;
+    for (int bit = 0; bit + amount < width_; ++bit)
+        out.setBit(bit, getBit(bit + amount));
+    return out;
+}
+
+BitVector
+BitVector::ashr(int amount) const
+{
+    HYD_ASSERT(amount >= 0, "negative shift");
+    const bool sign = signBit();
+    BitVector out = sign ? allOnes(width_) : BitVector(width_);
+    if (amount >= width_)
+        return out;
+    for (int bit = 0; bit + amount < width_; ++bit)
+        out.setBit(bit, getBit(bit + amount));
+    return out;
+}
+
+BitVector
+BitVector::rotr(int amount) const
+{
+    amount = ((amount % width_) + width_) % width_;
+    BitVector out(width_);
+    for (int bit = 0; bit < width_; ++bit)
+        out.setBit(bit, getBit((bit + amount) % width_));
+    return out;
+}
+
+BitVector
+BitVector::rotl(int amount) const
+{
+    return rotr(width_ - (((amount % width_) + width_) % width_));
+}
+
+BitVector
+BitVector::add(const BitVector &other) const
+{
+    HYD_ASSERT(width_ == other.width_, "add width mismatch");
+    BitVector out(width_);
+    unsigned __int128 carry = 0;
+    for (size_t w = 0; w < words_.size(); ++w) {
+        unsigned __int128 sum = carry;
+        sum += words_[w];
+        sum += other.words_[w];
+        out.words_[w] = static_cast<uint64_t>(sum);
+        carry = sum >> 64;
+    }
+    out.clearUnusedBits();
+    return out;
+}
+
+BitVector
+BitVector::sub(const BitVector &other) const
+{
+    return add(other.neg());
+}
+
+BitVector
+BitVector::neg() const
+{
+    return bvnot().add(fromUint(width_, 1));
+}
+
+BitVector
+BitVector::mul(const BitVector &other) const
+{
+    HYD_ASSERT(width_ == other.width_, "mul width mismatch");
+    BitVector out(width_);
+    const size_t n = words_.size();
+    std::vector<uint64_t> acc(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (words_[i] == 0)
+            continue;
+        unsigned __int128 carry = 0;
+        for (size_t j = 0; i + j < n; ++j) {
+            unsigned __int128 cur = acc[i + j];
+            cur += static_cast<unsigned __int128>(words_[i]) * other.words_[j];
+            cur += carry;
+            acc[i + j] = static_cast<uint64_t>(cur);
+            carry = cur >> 64;
+        }
+    }
+    out.words_ = std::move(acc);
+    out.clearUnusedBits();
+    return out;
+}
+
+BitVector
+BitVector::udiv(const BitVector &other) const
+{
+    HYD_ASSERT(width_ == other.width_, "udiv width mismatch");
+    if (other.isZero())
+        return allOnes(width_);
+    // Restoring long division, bit at a time. Slow but exact and only
+    // used for averaging/scaling semantics with small widths.
+    BitVector quotient(width_);
+    BitVector remainder(width_);
+    for (int bit = width_ - 1; bit >= 0; --bit) {
+        remainder = remainder.shl(1);
+        remainder.setBit(0, getBit(bit));
+        if (!remainder.ult(other)) {
+            remainder = remainder.sub(other);
+            quotient.setBit(bit, true);
+        }
+    }
+    return quotient;
+}
+
+BitVector
+BitVector::urem(const BitVector &other) const
+{
+    HYD_ASSERT(width_ == other.width_, "urem width mismatch");
+    if (other.isZero())
+        return *this;
+    return sub(udiv(other).mul(other));
+}
+
+BitVector
+BitVector::sdiv(const BitVector &other) const
+{
+    const bool neg_a = signBit();
+    const bool neg_b = other.signBit();
+    const BitVector mag_a = neg_a ? neg() : *this;
+    const BitVector mag_b = neg_b ? other.neg() : other;
+    BitVector q = mag_a.udiv(mag_b);
+    return (neg_a != neg_b) ? q.neg() : q;
+}
+
+BitVector
+BitVector::srem(const BitVector &other) const
+{
+    const bool neg_a = signBit();
+    const BitVector mag_a = neg_a ? neg() : *this;
+    const BitVector mag_b = other.signBit() ? other.neg() : other;
+    BitVector r = mag_a.urem(mag_b);
+    return neg_a ? r.neg() : r;
+}
+
+BitVector
+BitVector::addSatS(const BitVector &other) const
+{
+    const BitVector wide = sext(width_ + 1).add(other.sext(width_ + 1));
+    return wide.satNarrowS(width_);
+}
+
+BitVector
+BitVector::addSatU(const BitVector &other) const
+{
+    const BitVector wide = zext(width_ + 1).add(other.zext(width_ + 1));
+    if (wide.getBit(width_))
+        return allOnes(width_);
+    return wide.trunc(width_);
+}
+
+BitVector
+BitVector::subSatS(const BitVector &other) const
+{
+    const BitVector wide = sext(width_ + 1).sub(other.sext(width_ + 1));
+    return wide.satNarrowS(width_);
+}
+
+BitVector
+BitVector::subSatU(const BitVector &other) const
+{
+    if (ult(other))
+        return BitVector(width_);
+    return sub(other);
+}
+
+BitVector
+BitVector::satNarrowS(int to_width) const
+{
+    HYD_ASSERT(to_width <= width_, "satNarrowS must narrow");
+    const BitVector max = allOnes(width_).lshr(width_ - to_width + 1);
+    const BitVector min = max.bvnot();
+    if (slt(min))
+        return min.trunc(to_width);
+    if (max.slt(*this))
+        return max.trunc(to_width);
+    return trunc(to_width);
+}
+
+BitVector
+BitVector::satNarrowU(int to_width) const
+{
+    HYD_ASSERT(to_width <= width_, "satNarrowU must narrow");
+    if (signBit())
+        return BitVector(to_width);
+    BitVector max(width_);
+    for (int bit = 0; bit < to_width; ++bit)
+        max.setBit(bit, true);
+    if (max.ult(*this))
+        return max.trunc(to_width);
+    return trunc(to_width);
+}
+
+bool
+BitVector::ult(const BitVector &other) const
+{
+    HYD_ASSERT(width_ == other.width_, "ult width mismatch");
+    for (int w = static_cast<int>(words_.size()) - 1; w >= 0; --w) {
+        if (words_[w] != other.words_[w])
+            return words_[w] < other.words_[w];
+    }
+    return false;
+}
+
+bool
+BitVector::ule(const BitVector &other) const
+{
+    return !other.ult(*this);
+}
+
+bool
+BitVector::slt(const BitVector &other) const
+{
+    const bool sign_a = signBit();
+    const bool sign_b = other.signBit();
+    if (sign_a != sign_b)
+        return sign_a;
+    return ult(other);
+}
+
+bool
+BitVector::sle(const BitVector &other) const
+{
+    return !other.slt(*this);
+}
+
+BitVector
+BitVector::minS(const BitVector &other) const
+{
+    return slt(other) ? *this : other;
+}
+
+BitVector
+BitVector::maxS(const BitVector &other) const
+{
+    return slt(other) ? other : *this;
+}
+
+BitVector
+BitVector::minU(const BitVector &other) const
+{
+    return ult(other) ? *this : other;
+}
+
+BitVector
+BitVector::maxU(const BitVector &other) const
+{
+    return ult(other) ? other : *this;
+}
+
+BitVector
+BitVector::absS() const
+{
+    return signBit() ? neg() : *this;
+}
+
+BitVector
+BitVector::avgU(const BitVector &other) const
+{
+    BitVector wide = zext(width_ + 1).add(other.zext(width_ + 1));
+    wide = wide.add(fromUint(width_ + 1, 1));
+    return wide.lshr(1).trunc(width_);
+}
+
+BitVector
+BitVector::avgS(const BitVector &other) const
+{
+    BitVector wide = sext(width_ + 1).add(other.sext(width_ + 1));
+    wide = wide.add(fromUint(width_ + 1, 1));
+    return wide.ashr(1).trunc(width_);
+}
+
+BitVector
+BitVector::popcount() const
+{
+    int count = 0;
+    for (uint64_t word : words_)
+        count += __builtin_popcountll(word);
+    return fromUint(width_, static_cast<uint64_t>(count));
+}
+
+} // namespace hydride

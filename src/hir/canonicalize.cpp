@@ -1,0 +1,618 @@
+#include "hir/canonicalize.h"
+
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hydride {
+
+namespace {
+
+/** Substitute named variables by expressions (symbolic let inlining). */
+ExprPtr
+substituteNamed(const ExprPtr &expr,
+                const std::map<std::string, ExprPtr> &bindings)
+{
+    return rewrite(expr, [&](const ExprPtr &node) -> ExprPtr {
+        if (node->kind == ExprKind::NamedVar) {
+            auto it = bindings.find(node->name);
+            if (it != bindings.end())
+                return it->second;
+        }
+        return nullptr;
+    });
+}
+
+/**
+ * Inline LetInt statements symbolically, removing them from the
+ * statement list. Loop bounds and slice expressions are substituted
+ * and constant-folded.
+ */
+std::vector<StmtPtr>
+inlineLets(const std::vector<StmtPtr> &body,
+           std::map<std::string, ExprPtr> bindings)
+{
+    std::vector<StmtPtr> out;
+    for (const auto &stmt : body) {
+        switch (stmt->kind) {
+          case StmtKind::LetInt:
+            bindings[stmt->var] =
+                simplify(substituteNamed(stmt->lo, bindings));
+            break;
+          case StmtKind::For: {
+            // The loop variable shadows any outer binding.
+            auto inner = bindings;
+            inner.erase(stmt->var);
+            out.push_back(stmtFor(
+                stmt->var,
+                simplify(substituteNamed(stmt->lo, bindings)),
+                simplify(substituteNamed(stmt->hi, bindings)),
+                inlineLets(stmt->body, inner)));
+            break;
+          }
+          case StmtKind::SliceAssign:
+            out.push_back(stmtSliceAssign(
+                simplify(substituteNamed(stmt->low, bindings)),
+                simplify(substituteNamed(stmt->width, bindings)),
+                simplify(substituteNamed(stmt->value, bindings))));
+            break;
+        }
+    }
+    return out;
+}
+
+/** Concrete trip count of a For whose bounds folded to constants. */
+bool
+tripCount(const Stmt &loop, int64_t &count)
+{
+    if (loop.lo->kind != ExprKind::IntConst ||
+        loop.hi->kind != ExprKind::IntConst || loop.lo->value != 0) {
+        return false;
+    }
+    count = loop.hi->value + 1;
+    return count >= 1;
+}
+
+/** Rename a spec loop variable to a canonical loop iterator. */
+ExprPtr
+bindLoopVar(const ExprPtr &expr, const std::string &name, int level)
+{
+    std::map<std::string, ExprPtr> bindings;
+    bindings[name] = loopVar(level);
+    return simplify(substituteNamed(expr, bindings));
+}
+
+/**
+ * Check that `low(iter values)` enumerates `expected(slot)` for every
+ * iteration of a canonical nest, by direct integer evaluation.
+ */
+bool
+lowIndexMatches(const ExprPtr &low, int64_t outer, int64_t inner,
+                int64_t elem_width, int64_t inner_offset,
+                int64_t inner_stride)
+{
+    for (int64_t i = 0; i < outer; ++i) {
+        for (int64_t j = 0; j < inner; ++j) {
+            EvalEnv env;
+            env.loop_i = i;
+            env.loop_j = j;
+            const int64_t slot = i * inner * inner_stride +
+                                 j * inner_stride + inner_offset;
+            if (evalInt(low, env) != slot * elem_width)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** A For loop whose body is exactly `count` slice assignments. */
+bool
+isFlatAssignLoop(const Stmt &loop, size_t count)
+{
+    if (loop.kind != StmtKind::For || loop.body.size() != count)
+        return false;
+    for (const auto &stmt : loop.body)
+        if (stmt->kind != StmtKind::SliceAssign)
+            return false;
+    return true;
+}
+
+/** True if the expression contains a NamedVar not in `allowed`. */
+bool
+hasFreeNamed(const ExprPtr &expr, const std::vector<std::string> &allowed)
+{
+    std::vector<ExprPtr> nodes;
+    collectNodes(expr, nodes);
+    for (const auto &node : nodes) {
+        if (node->kind == ExprKind::NamedVar &&
+            std::find(allowed.begin(), allowed.end(), node->name) ==
+                allowed.end()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Flatten perfect two-level loop nests into one loop over the combined
+ * iteration space, binding the original iterators as div/mod of the
+ * combined counter. Applied bottom-up until fixpoint so that deeper
+ * nests also collapse. This lets the single-loop structural shapes
+ * cover per-128-bit-lane instructions while keeping indices symbolic.
+ */
+std::vector<StmtPtr>
+flattenNests(const std::vector<StmtPtr> &body)
+{
+    std::vector<StmtPtr> out;
+    for (const auto &stmt : body) {
+        if (stmt->kind != StmtKind::For) {
+            out.push_back(stmt);
+            continue;
+        }
+        StmtPtr loop = stmtFor(stmt->var, stmt->lo, stmt->hi,
+                               flattenNests(stmt->body));
+        // Collapse For(x){ For(y){ assigns } } into a single loop.
+        while (true) {
+            const Stmt &outer = *loop;
+            int64_t outer_count = 0;
+            if (!(outer.body.size() == 1 &&
+                  outer.body[0]->kind == StmtKind::For &&
+                  tripCount(outer, outer_count))) {
+                break;
+            }
+            const Stmt &inner = *outer.body[0];
+            int64_t inner_count = 0;
+            if (!tripCount(inner, inner_count) ||
+                !isFlatAssignLoop(inner, inner.body.size())) {
+                break;
+            }
+            const std::string combined = "__flat_" + outer.var;
+            std::map<std::string, ExprPtr> bindings;
+            bindings[outer.var] =
+                divI(namedVar(combined), intConst(inner_count));
+            bindings[inner.var] =
+                modI(namedVar(combined), intConst(inner_count));
+            std::vector<StmtPtr> assigns;
+            for (const auto &assign : inner.body) {
+                assigns.push_back(stmtSliceAssign(
+                    simplify(substituteNamed(assign->low, bindings)),
+                    simplify(substituteNamed(assign->width, bindings)),
+                    simplify(substituteNamed(assign->value, bindings))));
+            }
+            loop = stmtFor(combined, intConst(0),
+                           intConst(outer_count * inner_count - 1),
+                           std::move(assigns));
+        }
+        out.push_back(std::move(loop));
+    }
+    return out;
+}
+
+struct StructuralOutcome
+{
+    bool matched = false;
+    CanonicalSemantics sem;
+};
+
+/**
+ * Strategy 1: map the spec's own loop structure onto the canonical
+ * nest. Handles the loop shapes vendor pseudocode actually uses;
+ * everything else falls through to unroll-and-reroll.
+ */
+StructuralOutcome
+tryStructural(const SpecFunction &spec, const std::vector<StmtPtr> &body)
+{
+    StructuralOutcome outcome;
+    CanonicalSemantics &sem = outcome.sem;
+    sem.name = spec.name;
+    sem.isa = spec.isa;
+    sem.bv_args = spec.bv_args;
+    sem.int_args = spec.int_args;
+    sem.latency = spec.latency;
+
+    // Shape A: one loop, one assignment -> pure SIMD / strided op.
+    // The canonical form gets an artificial inner loop of one
+    // iteration (paper §3.3).
+    if (body.size() == 1 && isFlatAssignLoop(*body[0], 1)) {
+        const Stmt &loop = *body[0];
+        const Stmt &assign = *loop.body[0];
+        int64_t count = 0;
+        if (!tripCount(loop, count) ||
+            assign.width->kind != ExprKind::IntConst) {
+            return outcome;
+        }
+        const int64_t width = assign.width->value;
+        ExprPtr low = bindLoopVar(assign.low, loop.var, 0);
+        if (hasFreeNamed(low, {}) || !lowIndexMatches(low, count, 1, width, 0, 1))
+            return outcome;
+        sem.mode = TemplateMode::Uniform;
+        sem.outer_count = intConst(count);
+        sem.inner_count = intConst(1);
+        sem.elem_width = intConst(width);
+        sem.templates = {bindLoopVar(assign.value, loop.var, 0)};
+        outcome.matched = true;
+        return outcome;
+    }
+
+    // Shape B: one loop, k >= 2 assignments -> ByInner with k
+    // templates (e.g. interleave pseudocode writing dst[2j], dst[2j+1]).
+    if (body.size() == 1 && body[0]->kind == StmtKind::For &&
+        isFlatAssignLoop(*body[0], body[0]->body.size()) &&
+        body[0]->body.size() >= 2) {
+        const Stmt &loop = *body[0];
+        const size_t k = loop.body.size();
+        int64_t count = 0;
+        if (!tripCount(loop, count))
+            return outcome;
+        int64_t width = -1;
+        std::vector<ExprPtr> templates;
+        for (size_t idx = 0; idx < k; ++idx) {
+            const Stmt &assign = *loop.body[idx];
+            if (assign.width->kind != ExprKind::IntConst)
+                return outcome;
+            if (width < 0)
+                width = assign.width->value;
+            else if (width != assign.width->value)
+                return outcome;
+            ExprPtr low = bindLoopVar(assign.low, loop.var, 0);
+            if (hasFreeNamed(low, {}) ||
+                !lowIndexMatches(low, count, 1, width,
+                                 static_cast<int64_t>(idx),
+                                 static_cast<int64_t>(k))) {
+                return outcome;
+            }
+            templates.push_back(bindLoopVar(assign.value, loop.var, 0));
+        }
+        sem.mode = TemplateMode::ByInner;
+        sem.outer_count = intConst(count);
+        sem.inner_count = intConst(static_cast<int64_t>(k));
+        sem.elem_width = intConst(width);
+        sem.templates = std::move(templates);
+        outcome.matched = true;
+        return outcome;
+    }
+
+    // Shape C: a sequence of T >= 2 single-assignment loops covering
+    // consecutive output blocks -> ByOuter with T templates (e.g.
+    // concatenate-halves / combine instructions).
+    if (body.size() >= 2) {
+        for (const auto &stmt : body)
+            if (!isFlatAssignLoop(*stmt, 1))
+                return outcome;
+        const size_t blocks = body.size();
+        int64_t inner_count = -1;
+        int64_t width = -1;
+        std::vector<ExprPtr> templates;
+        for (size_t t = 0; t < blocks; ++t) {
+            const Stmt &loop = *body[t];
+            const Stmt &assign = *loop.body[0];
+            int64_t count = 0;
+            if (!tripCount(loop, count) ||
+                assign.width->kind != ExprKind::IntConst) {
+                return outcome;
+            }
+            if (inner_count < 0)
+                inner_count = count;
+            else if (inner_count != count)
+                return outcome;
+            if (width < 0)
+                width = assign.width->value;
+            else if (width != assign.width->value)
+                return outcome;
+            ExprPtr low = bindLoopVar(assign.low, loop.var, 1);
+            if (hasFreeNamed(low, {}))
+                return outcome;
+            // Block t writes elements [t*inner, (t+1)*inner).
+            bool match = true;
+            for (int64_t j = 0; j < count && match; ++j) {
+                EvalEnv env;
+                env.loop_j = j;
+                match = evalInt(low, env) ==
+                        (static_cast<int64_t>(t) * count + j) * width;
+            }
+            if (!match)
+                return outcome;
+            templates.push_back(bindLoopVar(assign.value, loop.var, 1));
+        }
+        sem.mode = TemplateMode::ByOuter;
+        sem.outer_count = intConst(static_cast<int64_t>(blocks));
+        sem.inner_count = intConst(inner_count);
+        sem.elem_width = intConst(width);
+        sem.templates = std::move(templates);
+        outcome.matched = true;
+        return outcome;
+    }
+
+    return outcome;
+}
+
+// ---- Strategy 2: unroll and reroll ----------------------------------------
+
+struct UnrolledSlice
+{
+    int64_t low;
+    int64_t width;
+    ExprPtr value;
+};
+
+/** Substitute current integer bindings as IntConst leaves and fold. */
+ExprPtr
+concretizeInts(const ExprPtr &expr,
+               const std::unordered_map<std::string, int64_t> &env)
+{
+    ExprPtr bound = rewrite(expr, [&](const ExprPtr &node) -> ExprPtr {
+        if (node->kind == ExprKind::NamedVar) {
+            auto it = env.find(node->name);
+            if (it != env.end())
+                return intConst(it->second);
+        }
+        return nullptr;
+    });
+    return simplify(bound);
+}
+
+bool
+unrollStmts(const std::vector<StmtPtr> &body,
+            std::unordered_map<std::string, int64_t> &env,
+            std::vector<UnrolledSlice> &slices)
+{
+    for (const auto &stmt : body) {
+        switch (stmt->kind) {
+          case StmtKind::LetInt: {
+            EvalEnv eval_env;
+            eval_env.named = env;
+            env[stmt->var] = evalInt(stmt->lo, eval_env);
+            break;
+          }
+          case StmtKind::For: {
+            EvalEnv eval_env;
+            eval_env.named = env;
+            const int64_t lo = evalInt(stmt->lo, eval_env);
+            const int64_t hi = evalInt(stmt->hi, eval_env);
+            for (int64_t it = lo; it <= hi; ++it) {
+                env[stmt->var] = it;
+                if (!unrollStmts(stmt->body, env, slices))
+                    return false;
+            }
+            env.erase(stmt->var);
+            break;
+          }
+          case StmtKind::SliceAssign: {
+            EvalEnv eval_env;
+            eval_env.named = env;
+            UnrolledSlice slice;
+            slice.low = evalInt(stmt->low, eval_env);
+            slice.width = evalInt(stmt->width, eval_env);
+            slice.value = concretizeInts(stmt->value, env);
+            slices.push_back(std::move(slice));
+            break;
+          }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+ExprPtr
+antiUnifyAffine(const std::vector<ExprPtr> &instances, int var_level)
+{
+    HYD_ASSERT(!instances.empty(), "antiUnifyAffine needs instances");
+    const ExprPtr &first = instances[0];
+    if (instances.size() == 1)
+        return first;
+
+    // All instances must agree on the node shape.
+    for (const auto &inst : instances) {
+        if (inst->kind != first->kind || inst->name != first->name ||
+            inst->kids.size() != first->kids.size()) {
+            return nullptr;
+        }
+        if (inst->kind != ExprKind::IntConst && inst->value != first->value)
+            return nullptr;
+    }
+
+    if (first->kind == ExprKind::IntConst) {
+        bool all_same = true;
+        for (const auto &inst : instances)
+            all_same &= inst->value == first->value;
+        if (all_same)
+            return first;
+        // Fit value(t) = base + stride * t over instance index t.
+        const int64_t base = instances[0]->value;
+        const int64_t stride = instances[1]->value - base;
+        for (size_t t = 0; t < instances.size(); ++t) {
+            if (instances[t]->value != base + stride * static_cast<int64_t>(t))
+                return nullptr;
+        }
+        return simplify(addI(mulI(intConst(stride), loopVar(var_level)),
+                             intConst(base)));
+    }
+
+    // Recurse over children.
+    std::vector<ExprPtr> kids;
+    kids.reserve(first->kids.size());
+    for (size_t k = 0; k < first->kids.size(); ++k) {
+        std::vector<ExprPtr> column;
+        column.reserve(instances.size());
+        for (const auto &inst : instances)
+            column.push_back(inst->kids[k]);
+        ExprPtr unified = antiUnifyAffine(column, var_level);
+        if (!unified)
+            return nullptr;
+        kids.push_back(std::move(unified));
+    }
+    auto node = std::make_shared<Expr>(*first);
+    node->kids = std::move(kids);
+    return node;
+}
+
+namespace {
+
+bool
+tryReroll(const SpecFunction &spec, const std::vector<StmtPtr> &body,
+          CanonicalSemantics &sem)
+{
+    std::vector<UnrolledSlice> slices;
+    std::unordered_map<std::string, int64_t> env;
+    if (!unrollStmts(body, env, slices) || slices.empty())
+        return false;
+
+    std::sort(slices.begin(), slices.end(),
+              [](const UnrolledSlice &a, const UnrolledSlice &b) {
+                  return a.low < b.low;
+              });
+    const int64_t width = slices[0].width;
+    for (size_t n = 0; n < slices.size(); ++n) {
+        if (slices[n].width != width ||
+            slices[n].low != static_cast<int64_t>(n) * width) {
+            return false;
+        }
+    }
+    const int64_t total = static_cast<int64_t>(slices.size());
+    std::vector<ExprPtr> elems;
+    elems.reserve(slices.size());
+    for (auto &slice : slices)
+        elems.push_back(std::move(slice.value));
+
+    sem.name = spec.name;
+    sem.isa = spec.isa;
+    sem.bv_args = spec.bv_args;
+    sem.int_args = spec.int_args;
+    sem.latency = spec.latency;
+    sem.elem_width = intConst(width);
+
+    // Uniform: one template affine in the flat element index.
+    if (ExprPtr tmpl = antiUnifyAffine(elems, 0)) {
+        sem.mode = TemplateMode::Uniform;
+        sem.outer_count = intConst(total);
+        sem.inner_count = intConst(1);
+        sem.templates = {std::move(tmpl)};
+        return true;
+    }
+
+    // ByInner: group by n % T, anti-unify across lanes.
+    for (int64_t t : {2, 4, 8, 16, 32}) {
+        if (t >= total || total % t != 0)
+            continue;
+        std::vector<ExprPtr> templates;
+        bool ok = true;
+        for (int64_t j = 0; j < t && ok; ++j) {
+            std::vector<ExprPtr> group;
+            for (int64_t i = 0; i * t + j < total; ++i)
+                group.push_back(elems[i * t + j]);
+            ExprPtr tmpl = antiUnifyAffine(group, 0);
+            ok = tmpl != nullptr;
+            if (ok)
+                templates.push_back(std::move(tmpl));
+        }
+        if (ok) {
+            sem.mode = TemplateMode::ByInner;
+            sem.outer_count = intConst(total / t);
+            sem.inner_count = intConst(t);
+            sem.templates = std::move(templates);
+            return true;
+        }
+    }
+
+    // ByOuter: split into T consecutive blocks, anti-unify inside each.
+    for (int64_t t : {2, 4}) {
+        if (t >= total || total % t != 0)
+            continue;
+        const int64_t block = total / t;
+        std::vector<ExprPtr> templates;
+        bool ok = true;
+        for (int64_t i = 0; i < t && ok; ++i) {
+            std::vector<ExprPtr> group(elems.begin() + i * block,
+                                       elems.begin() + (i + 1) * block);
+            ExprPtr tmpl = antiUnifyAffine(group, 1);
+            ok = tmpl != nullptr;
+            if (ok)
+                templates.push_back(std::move(tmpl));
+        }
+        if (ok) {
+            sem.mode = TemplateMode::ByOuter;
+            sem.outer_count = intConst(t);
+            sem.inner_count = intConst(block);
+            sem.templates = std::move(templates);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Differentially validate the canonical form against the statement
+ *  interpreter on deterministic pseudo-random inputs. */
+bool
+validateCanonical(const SpecFunction &spec, const CanonicalSemantics &sem,
+                  std::string &error)
+{
+    Rng rng(0xC0FFEEull ^ std::hash<std::string>{}(spec.name));
+    const std::vector<int64_t> no_params;
+    for (int trial = 0; trial < 3; ++trial) {
+        std::vector<BitVector> args;
+        for (const auto &arg : spec.bv_args) {
+            EvalEnv env;
+            const int width = static_cast<int>(evalInt(arg.width, env));
+            args.push_back(BitVector::random(width, rng));
+        }
+        // Immediate validity ranges are instruction-specific (an
+        // align amount must stay below the element count, a shift
+        // below the element width); 1 is valid for every immediate
+        // operand in the three manuals, so validation pins it.
+        std::vector<int64_t> int_values(spec.int_args.size(), 1);
+        const BitVector expected = spec.evaluate(args, int_values);
+        const BitVector actual = sem.evaluate(args, no_params, int_values);
+        if (expected != actual) {
+            error = "canonical form diverges from statement form";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+CanonicalizeResult
+canonicalize(const SpecFunction &spec)
+{
+    CanonicalizeResult result;
+    std::vector<StmtPtr> body = inlineLets(spec.body, {});
+
+    StructuralOutcome structural = tryStructural(spec, body);
+    if (!structural.matched) {
+        // Perfect nests collapse into one loop with div/mod iterators,
+        // after which the single-loop shapes usually apply.
+        std::vector<StmtPtr> flattened = flattenNests(body);
+        structural = tryStructural(spec, flattened);
+    }
+    if (structural.matched) {
+        result.sem = std::move(structural.sem);
+        result.strategy = "structural";
+    } else {
+        CanonicalSemantics sem;
+        if (!spec.int_args.empty()) {
+            // The reroll fallback fully evaluates slice positions,
+            // which is impossible with unbound immediates; the spec
+            // families that need rerolling never carry immediates.
+            result.error = "cannot reroll a spec with integer immediates";
+            return result;
+        }
+        if (!tryReroll(spec, body, sem)) {
+            result.error = "no canonicalization strategy applies";
+            return result;
+        }
+        result.sem = std::move(sem);
+        result.strategy = "reroll";
+    }
+
+    if (!validateCanonical(spec, result.sem, result.error))
+        return result;
+    result.ok = true;
+    return result;
+}
+
+} // namespace hydride

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Canonicalization of parsed pseudocode into the two-level loop form
+ * (paper §3.3, "Canonicalization of Hydride IR code").
+ *
+ * The canonicalizer performs, in Hydride-paper terms: function/let
+ * inlining, constant propagation, loop rerolling of (partially)
+ * unrolled specifications, and insertion of an artificial inner loop
+ * for plain SIMD instructions, so that every instruction's semantics
+ * becomes `for lane i { for element j { out[i,j] = template(i,j) } }`.
+ *
+ * Two strategies are attempted in order:
+ *
+ *  1. *Structural*: the spec's own FOR structure is mapped directly
+ *     onto the canonical loop nest (covers well-formed vendor loops,
+ *     keeps indices fully symbolic so that cross-element-size
+ *     similarity survives).
+ *  2. *Unroll-and-reroll*: the body is fully unrolled into per-element
+ *     value expressions, which are then anti-unified back into loop
+ *     templates whose varying constants are refit as affine functions
+ *     of the loop iterators (covers hand-unrolled vendor pseudocode).
+ *
+ * Every successful canonicalization is validated by differential
+ * testing against the statement-form interpreter on random inputs.
+ */
+#ifndef HYDRIDE_HIR_CANONICALIZE_H
+#define HYDRIDE_HIR_CANONICALIZE_H
+
+#include <string>
+
+#include "hir/semantics.h"
+
+namespace hydride {
+
+/** Outcome of canonicalization. */
+struct CanonicalizeResult
+{
+    bool ok = false;
+    CanonicalSemantics sem;
+    std::string error;
+    /** Which strategy succeeded ("structural" or "reroll"). */
+    std::string strategy;
+};
+
+/** Canonicalize one parsed spec function. */
+CanonicalizeResult canonicalize(const SpecFunction &spec);
+
+/**
+ * Anti-unify a list of expressions that are structurally identical
+ * except for integer constants; differing constants are refit as
+ * affine functions `base + stride * loopVar(var_level)` of the
+ * instance index. Returns nullptr when the structures diverge or the
+ * constants are not affine in the instance index.
+ */
+ExprPtr antiUnifyAffine(const std::vector<ExprPtr> &instances,
+                        int var_level);
+
+} // namespace hydride
+
+#endif // HYDRIDE_HIR_CANONICALIZE_H

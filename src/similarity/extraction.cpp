@@ -1,0 +1,243 @@
+#include "similarity/extraction.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+#include <map>
+
+namespace hydride {
+
+namespace {
+
+/** Extraction state: the (role, value) -> parameter memo. */
+class Extractor
+{
+  public:
+    explicit Extractor(CanonicalSemantics &sem) : sem_(sem) {}
+
+    /** Replace integer constants in `expr` under the given role. */
+    ExprPtr
+    walkInt(const ExprPtr &expr, ParamRole role)
+    {
+        switch (expr->kind) {
+          case ExprKind::IntConst:
+            return paramFor(role, expr->value);
+          case ExprKind::IntBin: {
+            ExprPtr a = walkInt(expr->kids[0], role);
+            ExprPtr b = walkInt(expr->kids[1], role);
+            return intBin(static_cast<IntBinOp>(expr->value), a, b);
+          }
+          default:
+            return expr; // Loop vars, immediates, existing params.
+        }
+    }
+
+    /** Replace constants in a BV-typed template expression. */
+    ExprPtr
+    walkBV(const ExprPtr &expr)
+    {
+        switch (expr->kind) {
+          case ExprKind::Extract: {
+            ExprPtr base = walkBV(expr->kids[0]);
+            ExprPtr low = walkIndexWithHole(expr->kids[1]);
+            ExprPtr width = walkInt(expr->kids[2], ParamRole::ElemWidth);
+            return extract(base, low, width);
+          }
+          case ExprKind::BVCast: {
+            ExprPtr base = walkBV(expr->kids[0]);
+            ExprPtr width = walkInt(expr->kids[1], ParamRole::ElemWidth);
+            return bvCast(static_cast<BVCastOp>(expr->value), base, width);
+          }
+          case ExprKind::BVConst: {
+            ExprPtr width = walkInt(expr->kids[0], ParamRole::ElemWidth);
+            ExprPtr value = walkInt(expr->kids[1], ParamRole::Value);
+            return bvConst(width, value);
+          }
+          default: {
+            if (expr->isInt())
+                return walkInt(expr, ParamRole::Index);
+            bool changed = false;
+            std::vector<ExprPtr> kids;
+            kids.reserve(expr->kids.size());
+            for (const auto &kid : expr->kids) {
+                ExprPtr walked = kid->isInt()
+                                     ? walkInt(kid, ParamRole::Index)
+                                     : walkBV(kid);
+                changed |= walked.get() != kid.get();
+                kids.push_back(std::move(walked));
+            }
+            if (!changed)
+                return expr;
+            auto node = std::make_shared<Expr>(*expr);
+            node->kids = std::move(kids);
+            return node;
+        }
+        }
+    }
+
+    /**
+     * Normalize an extract low index into `core + offset-parameter`:
+     * the hole-insertion step. The trailing additive constant (zero
+     * when absent) becomes an Index-role parameter that is *not*
+     * deduplicated against other constants, since each extract's
+     * offset is an independent hole.
+     */
+    ExprPtr
+    walkIndexWithHole(const ExprPtr &raw_low)
+    {
+        ExprPtr low = simplify(distributeIndexExpr(raw_low));
+        if (low->kind == ExprKind::IntConst) {
+            // Fully constant position (scalar ops, broadcasts): the
+            // whole position is the hole.
+            return freshParam(ParamRole::Index, low->value);
+        }
+        int64_t offset = 0;
+        ExprPtr core = low;
+        if (low->kind == ExprKind::IntBin &&
+            static_cast<IntBinOp>(low->value) == IntBinOp::Add &&
+            low->kids[1]->kind == ExprKind::IntConst) {
+            offset = low->kids[1]->value;
+            core = low->kids[0];
+        }
+        ExprPtr walked_core = walkInt(core, ParamRole::Index);
+        ExprPtr hole = freshParam(ParamRole::Index, offset);
+        return addI(walked_core, hole);
+    }
+
+    /**
+     * Memoized parameter for (role, value). Index-role constants are
+     * never shared: two bit-index constants that happen to be equal
+     * (a lane size coinciding with an element width, say) are not
+     * provably the same quantity, so each gets its own parameter —
+     * the conservative choice the paper describes, cleaned up later
+     * by dead-argument elimination.
+     */
+    ExprPtr
+    paramFor(ParamRole role, int64_t value)
+    {
+        if (role == ParamRole::Index)
+            return freshParam(role, value);
+        const auto key = std::make_pair(role, value);
+        auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+        ExprPtr node = freshParam(role, value);
+        memo_.emplace(key, node);
+        return node;
+    }
+
+    /** Allocate a parameter without memoization (used for holes). */
+    ExprPtr
+    freshParam(ParamRole role, int64_t value)
+    {
+        const int index = static_cast<int>(sem_.params.size());
+        const std::string name = format("p%d", index);
+        sem_.params.push_back({name, value, role});
+        return param(index, name);
+    }
+
+  private:
+    CanonicalSemantics &sem_;
+    std::map<std::pair<ParamRole, int64_t>, ExprPtr> memo_;
+};
+
+/** Rename integer immediates positionally for cross-ISA comparison. */
+void
+normalizeImmNames(CanonicalSemantics &sem)
+{
+    std::map<std::string, ExprPtr> renames;
+    for (size_t i = 0; i < sem.int_args.size(); ++i) {
+        const std::string fresh = format("imm%d", static_cast<int>(i));
+        renames[sem.int_args[i]] = namedVar(fresh);
+        sem.int_args[i] = fresh;
+    }
+    if (renames.empty())
+        return;
+    for (auto &tmpl : sem.templates) {
+        tmpl = rewrite(tmpl, [&](const ExprPtr &node) -> ExprPtr {
+            if (node->kind == ExprKind::NamedVar) {
+                auto it = renames.find(node->name);
+                if (it != renames.end())
+                    return it->second;
+            }
+            return nullptr;
+        });
+    }
+}
+
+} // namespace
+
+ExprPtr
+distributeIndexExpr(const ExprPtr &expr)
+{
+    if (expr->isInt() && expr->kind == ExprKind::IntBin) {
+        const auto op = static_cast<IntBinOp>(expr->value);
+        ExprPtr a = distributeIndexExpr(expr->kids[0]);
+        ExprPtr b = distributeIndexExpr(expr->kids[1]);
+        if (op == IntBinOp::Mul) {
+            // (x + c) * k -> x*k + c*k with k constant (either side).
+            const ExprPtr *sum = nullptr;
+            const ExprPtr *factor = nullptr;
+            if (a->kind == ExprKind::IntBin &&
+                static_cast<IntBinOp>(a->value) == IntBinOp::Add &&
+                b->kind == ExprKind::IntConst) {
+                sum = &a;
+                factor = &b;
+            } else if (b->kind == ExprKind::IntBin &&
+                       static_cast<IntBinOp>(b->value) == IntBinOp::Add &&
+                       a->kind == ExprKind::IntConst) {
+                sum = &b;
+                factor = &a;
+            }
+            if (sum) {
+                ExprPtr lhs = distributeIndexExpr(
+                    mulI((*sum)->kids[0], *factor));
+                ExprPtr rhs = distributeIndexExpr(
+                    mulI((*sum)->kids[1], *factor));
+                return simplify(addI(lhs, rhs));
+            }
+        }
+        if (op == IntBinOp::Add) {
+            // Re-associate so a trailing constant surfaces:
+            // (x + c) + y -> (x + y) + c.
+            ExprPtr node = simplify(addI(a, b));
+            if (node->kind == ExprKind::IntBin &&
+                static_cast<IntBinOp>(node->value) == IntBinOp::Add) {
+                ExprPtr lhs = node->kids[0];
+                ExprPtr rhs = node->kids[1];
+                if (lhs->kind == ExprKind::IntBin &&
+                    static_cast<IntBinOp>(lhs->value) == IntBinOp::Add &&
+                    lhs->kids[1]->kind == ExprKind::IntConst &&
+                    rhs->kind != ExprKind::IntConst) {
+                    return simplify(addI(addI(lhs->kids[0], rhs),
+                                         lhs->kids[1]));
+                }
+            }
+            return node;
+        }
+        return simplify(intBin(op, a, b));
+    }
+    return expr;
+}
+
+CanonicalSemantics
+extractConstants(const CanonicalSemantics &concrete)
+{
+    HYD_ASSERT(concrete.params.empty(),
+               "constants already extracted for " + concrete.name);
+    CanonicalSemantics sym = concrete;
+    sym.params.clear();
+    normalizeImmNames(sym);
+
+    Extractor extractor(sym);
+    for (auto &arg : sym.bv_args)
+        arg.width = extractor.walkInt(arg.width, ParamRole::RegWidth);
+    sym.outer_count = extractor.walkInt(sym.outer_count, ParamRole::Count);
+    sym.inner_count = extractor.walkInt(sym.inner_count, ParamRole::Count);
+    sym.elem_width = extractor.walkInt(sym.elem_width, ParamRole::ElemWidth);
+    for (auto &tmpl : sym.templates)
+        tmpl = extractor.walkBV(tmpl);
+    return sym;
+}
+
+} // namespace hydride

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Constant extraction: concrete canonical semantics -> symbolic
+ * (parameterized) semantics (paper §3.3, "Extraction of constants").
+ *
+ * Every integer literal in the canonicalized semantics — trip counts,
+ * register and element widths, index strides/offsets, constant
+ * operands — is replaced by a fresh symbolic parameter. Two
+ * refinements keep this faithful to the paper:
+ *
+ *  1. *Role-aware deduplication*: constants are memoized per
+ *     (structural role, value), standing in for the paper's bitwidth
+ *     analysis; the two widening widths of a saturating add share one
+ *     parameter, while an element width and an equal-valued lane
+ *     count do not.
+ *
+ *  2. *Index-offset holes*: every extract's low-index expression is
+ *     normalized to `core + offset` with `offset` a parameter
+ *     (defaulting to 0 when the spec had no offset). This is the
+ *     paper's hole insertion (Fig. 3(d,e)) — it lets unpacklo (offset
+ *     0) and unpackhi (offset 64) land in one equivalence class, with
+ *     the dead-argument elimination pass later removing offsets that
+ *     are zero across an entire class.
+ *
+ * Integer immediate argument names are also normalized positionally
+ * ("imm0", "imm1", ...) so that cross-ISA variants of e.g.
+ * shift-by-immediate compare structurally equal.
+ */
+#ifndef HYDRIDE_SIMILARITY_EXTRACTION_H
+#define HYDRIDE_SIMILARITY_EXTRACTION_H
+
+#include "hir/semantics.h"
+
+namespace hydride {
+
+/** Extract constants, returning the symbolic semantics. The result's
+ *  `params` carry the instruction's original concrete values. */
+CanonicalSemantics extractConstants(const CanonicalSemantics &concrete);
+
+/**
+ * Distribute multiplications over additions with constant factors
+ * (`(x + c) * k -> x*k + c*k`) so that index offsets surface as
+ * trailing additive constants. Exposed for testing.
+ */
+ExprPtr distributeIndexExpr(const ExprPtr &expr);
+
+} // namespace hydride
+
+#endif // HYDRIDE_SIMILARITY_EXTRACTION_H

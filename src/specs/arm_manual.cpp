@@ -1,0 +1,587 @@
+#include "specs/arm_manual.h"
+
+#include "support/strings.h"
+
+#include <vector>
+
+namespace hydride {
+
+namespace {
+
+/** One scalar element type: signedness plus width. */
+struct ElemType
+{
+    bool sign;
+    int ew;
+
+    std::string
+    str() const
+    {
+        return format("%c%d", sign ? 's' : 'u', ew);
+    }
+    const char *
+    ext() const
+    {
+        return sign ? "SExt" : "ZExt";
+    }
+    const char *
+    sat() const
+    {
+        return sign ? "SSat" : "USat";
+    }
+};
+
+struct ArmEmitter
+{
+    IsaSpec &spec;
+    int vw;        ///< Input register width (64 = D form, 128 = Q form).
+    std::string q; ///< "q" for the 128-bit forms.
+
+    void
+    inst(const std::string &name, const std::string &args, int out_w,
+         int lat, const std::string &body)
+    {
+        std::string text =
+            format("INSTRUCTION %s (%s) => bits(%d) LATENCY %d\n",
+                   name.c_str(), args.c_str(), out_w, lat);
+        text += body;
+        text += "ENDINSTRUCTION\n";
+        spec.insts.push_back({name, text});
+    }
+
+    std::string
+    loop(int n, const std::string &body) const
+    {
+        return format("for e = 0 to %d do\n%send for", n - 1, body.c_str());
+    }
+
+    /** One-output-per-element instruction. */
+    void
+    simd(const std::string &name, const std::string &args, int out_w,
+         int out_ew, int lat, const std::string &elem_expr)
+    {
+        const int n = out_w / out_ew;
+        std::string body = format("for e = 0 to %d do\n", n - 1);
+        body += format("Elem[dst, e, %d] = %s;\n", out_ew,
+                       elem_expr.c_str());
+        body += "endfor\n";
+        inst(name, args, out_w, lat, body);
+    }
+
+    std::string
+    args2() const
+    {
+        return format("a: bits(%d), b: bits(%d)", vw, vw);
+    }
+    std::string
+    args1() const
+    {
+        return format("a: bits(%d)", vw);
+    }
+    std::string
+    args3() const
+    {
+        return format("acc: bits(%d), a: bits(%d), b: bits(%d)", vw, vw, vw);
+    }
+};
+
+/** `Elem[a, e, 16]` accessor string. */
+std::string
+el(const char *reg, int ew, const std::string &idx = "e")
+{
+    return format("Elem[%s, %s, %d]", reg, idx.c_str(), ew);
+}
+
+} // namespace
+
+IsaSpec
+generateArmManual()
+{
+    IsaSpec spec;
+    spec.isa = "arm";
+
+    std::vector<ElemType> all_types;
+    for (bool sign : {true, false})
+        for (int ew : {8, 16, 32, 64})
+            all_types.push_back({sign, ew});
+    std::vector<ElemType> narrow_types;
+    for (bool sign : {true, false})
+        for (int ew : {8, 16, 32})
+            narrow_types.push_back({sign, ew});
+
+    for (int vw : {64, 128}) {
+        ArmEmitter e{spec, vw, vw == 128 ? "q" : ""};
+        const char *q = e.q.c_str();
+
+        auto name = [&](const char *stem, const ElemType &t) {
+            return format("v%s%s_%s", stem, q, t.str().c_str());
+        };
+
+        // Wrap-around add/sub and saturating add/sub for all types.
+        for (const auto &t : all_types) {
+            const std::string A = el("a", t.ew);
+            const std::string B = el("b", t.ew);
+            e.simd(name("add", t), e.args2(), vw, t.ew, 1, A + " + " + B);
+            e.simd(name("sub", t), e.args2(), vw, t.ew, 1, A + " - " + B);
+            const int margin = t.sign ? 1 : 2;
+            e.simd(name("qadd", t), e.args2(), vw, t.ew, 1,
+                   format("%s(%s(%s, %d) + %s(%s, %d), %d)", t.sat(),
+                          t.ext(), A.c_str(), t.ew + margin, t.ext(),
+                          B.c_str(), t.ew + margin, t.ew));
+            e.simd(name("qsub", t), e.args2(), vw, t.ew, 1,
+                   format("%s(%s(%s, %d) - %s(%s, %d), %d)", t.sat(),
+                          t.ext(), A.c_str(), t.ew + margin, t.ext(),
+                          B.c_str(), t.ew + margin, t.ew));
+        }
+
+        // Halving / rounding-halving families, multiplies, min/max,
+        // absolute difference, shifts and compares (8/16/32-bit).
+        for (const auto &t : narrow_types) {
+            const std::string A = el("a", t.ew);
+            const std::string B = el("b", t.ew);
+            const int w1 = t.ew + 1;
+
+            e.simd(name("hadd", t), e.args2(), vw, t.ew, 1,
+                   format("Trunc((%s(%s, %d) + %s(%s, %d)) >> 1, %d)",
+                          t.ext(), A.c_str(), w1, t.ext(), B.c_str(), w1,
+                          t.ew));
+            e.simd(name("rhadd", t), e.args2(), vw, t.ew, 1,
+                   format("%s(%s, %s)", t.sign ? "SAvg" : "UAvg", A.c_str(),
+                          B.c_str()));
+            e.simd(name("hsub", t), e.args2(), vw, t.ew, 1,
+                   format("Trunc((%s(%s, %d) - %s(%s, %d)) >> 1, %d)",
+                          t.ext(), A.c_str(), w1, t.ext(), B.c_str(), w1,
+                          t.ew));
+
+            e.simd(name("mul", t), e.args2(), vw, t.ew, 4, A + " * " + B);
+            e.simd(name("mla", t), e.args3(), vw, t.ew, 4,
+                   format("%s + %s * %s", el("acc", t.ew).c_str(), A.c_str(),
+                          B.c_str()));
+            e.simd(name("mls", t), e.args3(), vw, t.ew, 4,
+                   format("%s - %s * %s", el("acc", t.ew).c_str(), A.c_str(),
+                          B.c_str()));
+
+            e.simd(name("min", t), e.args2(), vw, t.ew, 1,
+                   format("%s(%s, %s)", t.sign ? "SMin" : "UMin", A.c_str(),
+                          B.c_str()));
+            e.simd(name("max", t), e.args2(), vw, t.ew, 1,
+                   format("%s(%s, %s)", t.sign ? "SMax" : "UMax", A.c_str(),
+                          B.c_str()));
+
+            e.simd(name("abd", t), e.args2(), vw, t.ew, 1,
+                   format("Trunc(Abs(%s(%s, %d) - %s(%s, %d)), %d)", t.ext(),
+                          A.c_str(), w1, t.ext(), B.c_str(), w1, t.ew));
+            e.simd(name("aba", t), e.args3(), vw, t.ew, 1,
+                   format("%s + Trunc(Abs(%s(%s, %d) - %s(%s, %d)), %d)",
+                          el("acc", t.ew).c_str(), t.ext(), A.c_str(), w1,
+                          t.ext(), B.c_str(), w1, t.ew));
+
+            // Register shifts mask the amount to the lane width.
+            e.simd(name("shl", t), e.args2(), vw, t.ew, 1,
+                   format("%s << (%s & %d)", A.c_str(), B.c_str(),
+                          t.ew - 1));
+            const std::string wide_amt =
+                format("(ZExt(%s, %d) & %d)", B.c_str(), 2 * t.ew,
+                       t.ew - 1);
+            e.simd(name("qshl", t), e.args2(), vw, t.ew, 1,
+                   format("%s(%s(%s, %d) << %s, %d)", t.sat(), t.ext(),
+                          A.c_str(), 2 * t.ew, wide_amt.c_str(), t.ew));
+            e.simd(name("rshl", t), e.args2(), vw, t.ew, 1,
+                   format("Trunc(%s(%s, %d) << %s, %d)", t.ext(), A.c_str(),
+                          2 * t.ew, wide_amt.c_str(), t.ew));
+
+            // Absolute value / negation (plain and saturating).
+            if (t.sign) {
+                e.simd(name("abs", t), e.args1(), vw, t.ew, 1,
+                       format("Abs(%s)", A.c_str()));
+                e.simd(name("qabs", t), e.args1(), vw, t.ew, 1,
+                       format("SSat(Abs(SExt(%s, %d)), %d)", A.c_str(), w1,
+                              t.ew));
+                e.simd(name("neg", t), e.args1(), vw, t.ew, 1,
+                       format("Trunc(Zeros(%d) - SExt(%s, %d), %d)", w1,
+                              A.c_str(), w1, t.ew));
+                e.simd(name("qneg", t), e.args1(), vw, t.ew, 1,
+                       format("SSat(Zeros(%d) - SExt(%s, %d), %d)", w1,
+                              A.c_str(), w1, t.ew));
+            }
+
+            // Per-element test: any common set bit.
+            e.simd(name("tst", t), e.args2(), vw, t.ew, 1,
+                   format("(%s & %s) != Zeros(%d) ? Ones(%d) : Zeros(%d)",
+                          A.c_str(), B.c_str(), t.ew, t.ew, t.ew));
+        }
+
+        // Compares for every element size.
+        for (const auto &t : all_types) {
+            const std::string A = el("a", t.ew);
+            const std::string B = el("b", t.ew);
+            auto mask = [&](const std::string &cond) {
+                return format("%s ? Ones(%d) : Zeros(%d)", cond.c_str(),
+                              t.ew, t.ew);
+            };
+            e.simd(name("ceq", t), e.args2(), vw, t.ew, 1,
+                   mask(A + " == " + B));
+            e.simd(name("cgt", t), e.args2(), vw, t.ew, 1,
+                   mask(t.sign ? A + " > " + B
+                               : format("UGT(%s, %s)", A.c_str(),
+                                        B.c_str())));
+            e.simd(name("cge", t), e.args2(), vw, t.ew, 1,
+                   mask(t.sign ? A + " >= " + B
+                               : format("UGE(%s, %s)", A.c_str(),
+                                        B.c_str())));
+            e.simd(name("clt", t), e.args2(), vw, t.ew, 1,
+                   mask(t.sign ? A + " < " + B
+                               : format("UGT(%s, %s)", B.c_str(),
+                                        A.c_str())));
+            e.simd(name("cle", t), e.args2(), vw, t.ew, 1,
+                   mask(t.sign ? A + " <= " + B
+                               : format("UGE(%s, %s)", B.c_str(),
+                                        A.c_str())));
+        }
+
+        // Immediate shifts, shift-insert, broadcast for all types.
+        for (const auto &t : all_types) {
+            const std::string A = el("a", t.ew);
+            const std::string B = el("b", t.ew);
+            const std::string args_imm =
+                format("a: bits(%d), n: imm", vw);
+            e.simd(name("shl_n", t), args_imm, vw, t.ew, 1, A + " << n");
+            e.simd(name("shr_n", t), args_imm, vw, t.ew, 1,
+                   t.sign ? A + " >> n" : A + " >>> n");
+            e.simd(name("rshr_n", t), args_imm, vw, t.ew, 1,
+                   format("Trunc(((%s(%s, %d) >> (n - 1)) + 1) >> 1, %d)",
+                          t.ext(), A.c_str(), t.ew + 1, t.ew));
+            const std::string args2_imm =
+                format("a: bits(%d), b: bits(%d), n: imm", vw, vw);
+            e.simd(name("sli_n", t), args2_imm, vw, t.ew, 1,
+                   format("(%s << n) | (%s & ~(Ones(%d) << n))", B.c_str(),
+                          A.c_str(), t.ew));
+            e.simd(name("sri_n", t), args2_imm, vw, t.ew, 1,
+                   format("(%s >>> n) | (%s & ~(Ones(%d) >>> n))", B.c_str(),
+                          A.c_str(), t.ew));
+            e.simd(name("dup", t), format("a: bits(%d)", t.ew), vw, t.ew, 1,
+                   format("Bits(a, %d, 0)", t.ew - 1));
+        }
+
+        // Whole-register logic, named per type as NEON does.
+        for (const auto &t : all_types) {
+            const int w = vw - 1;
+            auto whole = [&](const char *stem, const std::string &expr) {
+                e.inst(name(stem, t), e.args2(), vw, 1,
+                       format("dst = %s;\n", expr.c_str()));
+            };
+            whole("and", format("Bits(a, %d, 0) & Bits(b, %d, 0)", w, w));
+            whole("orr", format("Bits(a, %d, 0) | Bits(b, %d, 0)", w, w));
+            whole("eor", format("Bits(a, %d, 0) ^ Bits(b, %d, 0)", w, w));
+            whole("bic", format("Bits(a, %d, 0) & ~Bits(b, %d, 0)", w, w));
+            whole("orn", format("Bits(a, %d, 0) | ~Bits(b, %d, 0)", w, w));
+            e.inst(name("bsl", t),
+                   format("m: bits(%d), a: bits(%d), b: bits(%d)", vw, vw,
+                          vw),
+                   vw, 1,
+                   format("dst = (Bits(m, %d, 0) & Bits(a, %d, 0)) | "
+                          "(~Bits(m, %d, 0) & Bits(b, %d, 0));\n",
+                          w, w, w, w));
+        }
+
+        // Zip / unzip / transpose / extract / reverse swizzles.
+        for (const auto &t : all_types) {
+            const int n = vw / t.ew;
+            if (n < 2)
+                continue;
+            const int half = n / 2;
+            // zip1/zip2: interleave lower (upper) halves.
+            for (int hi = 0; hi < 2; ++hi) {
+                e.inst(name(hi ? "zip2" : "zip1", t), e.args2(), vw, 1,
+                       format("for e = 0 to %d do\n"
+                              "Elem[dst, 2*e, %d] = Elem[a, e + %d, %d];\n"
+                              "Elem[dst, 2*e + 1, %d] = Elem[b, e + %d, "
+                              "%d];\nendfor\n",
+                              half - 1, t.ew, hi * half, t.ew, t.ew,
+                              hi * half, t.ew));
+            }
+            // uzp1/uzp2: even (odd) elements of the pair a:b.
+            for (int odd = 0; odd < 2; ++odd) {
+                std::string body;
+                body += format("for e = 0 to %d do\n"
+                               "Elem[dst, e, %d] = Elem[a, 2*e + %d, %d];\n"
+                               "endfor\n",
+                               half - 1, t.ew, odd, t.ew);
+                body += format("for e = 0 to %d do\n"
+                               "Elem[dst, %d + e, %d] = Elem[b, 2*e + %d, "
+                               "%d];\nendfor\n",
+                               half - 1, half, t.ew, odd, t.ew);
+                e.inst(name(odd ? "uzp2" : "uzp1", t), e.args2(), vw, 1,
+                       body);
+            }
+            // trn1/trn2: transpose pairs.
+            for (int odd = 0; odd < 2; ++odd) {
+                e.inst(name(odd ? "trn2" : "trn1", t), e.args2(), vw, 1,
+                       format("for e = 0 to %d do\n"
+                              "Elem[dst, 2*e, %d] = Elem[a, 2*e + %d, %d];\n"
+                              "Elem[dst, 2*e + 1, %d] = Elem[b, 2*e + %d, "
+                              "%d];\nendfor\n",
+                              half - 1, t.ew, odd, t.ew, t.ew, odd, t.ew));
+            }
+            // ext: extract from the concatenation a:b at element n.
+            e.simd(name("ext", t),
+                   format("a: bits(%d), b: bits(%d), n: imm", vw, vw), vw,
+                   t.ew, 1,
+                   format("(e + n) < %d ? Elem[a, e + n, %d] : "
+                          "Elem[b, e + n - %d, %d]",
+                          n, t.ew, n, t.ew));
+        }
+
+        // D/Q register plumbing: vget_low/vget_high (Q form only) and
+        // vcombine (D form only).
+        if (vw == 128) {
+            for (const auto &t : narrow_types) {
+                const int n = 64 / t.ew;
+                e.inst(format("vget_low_%s", t.str().c_str()),
+                       format("a: bits(128)"), 64, 0,
+                       format("for e = 0 to %d do\n"
+                              "Elem[dst, e, %d] = Elem[a, e, %d];\nendfor\n",
+                              n - 1, t.ew, t.ew));
+                e.inst(format("vget_high_%s", t.str().c_str()),
+                       format("a: bits(128)"), 64, 1,
+                       format("for e = 0 to %d do\n"
+                              "Elem[dst, e, %d] = Elem[a, e + %d, %d];\n"
+                              "endfor\n",
+                              n - 1, t.ew, n, t.ew));
+            }
+        } else {
+            for (const auto &t : narrow_types) {
+                const int n = 64 / t.ew;
+                std::string body;
+                body += format("for e = 0 to %d do\n"
+                               "Elem[dst, e, %d] = Elem[a, e, %d];\nendfor\n",
+                               n - 1, t.ew, t.ew);
+                body += format("for e = 0 to %d do\n"
+                               "Elem[dst, %d + e, %d] = Elem[b, e, %d];\n"
+                               "endfor\n",
+                               n - 1, n, t.ew, t.ew);
+                e.inst(format("vcombine_%s", t.str().c_str()),
+                       format("a: bits(64), b: bits(64)"), 128, 1, body);
+            }
+        }
+
+        // rev16/rev32/rev64: reverse elements within groups.
+        for (const auto &t : narrow_types) {
+            for (int group_bits : {16, 32, 64}) {
+                if (group_bits <= t.ew)
+                    continue;
+                const int g = group_bits / t.ew;
+                e.simd(format("vrev%d%s_%s", group_bits, q,
+                              t.str().c_str()),
+                       e.args1(), vw, t.ew, 1,
+                       format("Elem[a, %d*(e / %d) + %d - e %% %d, %d]", g,
+                              g, g - 1, g, t.ew));
+            }
+        }
+
+        // Population count (byte elements).
+        for (bool sign : {true, false}) {
+            ElemType t{sign, 8};
+            e.simd(name("cnt", t), e.args1(), vw, 8, 1,
+                   format("PopCount(%s)", el("a", 8).c_str()));
+        }
+
+        // Pairwise add/max/min, widening pairwise and accumulating.
+        for (const auto &t : narrow_types) {
+            const int n = vw / t.ew;
+            const int half = n / 2;
+            struct PFam
+            {
+                const char *stem;
+                const char *fmt_s;
+                const char *fmt_u;
+            };
+            // vpadd / vpmax / vpmin: first half from a, second from b.
+            auto pairwise = [&](const char *stem, const std::string &s_expr,
+                                const std::string &u_expr) {
+                const std::string &expr = t.sign ? s_expr : u_expr;
+                std::string body;
+                body += format("for e = 0 to %d do\n"
+                               "Elem[dst, e, %d] = %s;\nendfor\n",
+                               half - 1, t.ew,
+                               replaceAll(expr, "$r", "a").c_str());
+                body += format("for e = 0 to %d do\n"
+                               "Elem[dst, %d + e, %d] = %s;\nendfor\n",
+                               half - 1, half, t.ew,
+                               replaceAll(expr, "$r", "b").c_str());
+                e.inst(name(stem, t), e.args2(), vw, 1, body);
+            };
+            const std::string pa =
+                format("Elem[$r, 2*e, %d] + Elem[$r, 2*e + 1, %d]", t.ew,
+                       t.ew);
+            pairwise("padd", pa, pa);
+            pairwise("pmax",
+                     format("SMax(Elem[$r, 2*e, %d], Elem[$r, 2*e + 1, %d])",
+                            t.ew, t.ew),
+                     format("UMax(Elem[$r, 2*e, %d], Elem[$r, 2*e + 1, %d])",
+                            t.ew, t.ew));
+            pairwise("pmin",
+                     format("SMin(Elem[$r, 2*e, %d], Elem[$r, 2*e + 1, %d])",
+                            t.ew, t.ew),
+                     format("UMin(Elem[$r, 2*e, %d], Elem[$r, 2*e + 1, %d])",
+                            t.ew, t.ew));
+
+            // paddl: widening pairwise add; padal: accumulate into it.
+            const int wide = 2 * t.ew;
+            e.simd(name("paddl", t), e.args1(), vw, wide, 1,
+                   format("%s(Elem[a, 2*e, %d], %d) + %s(Elem[a, 2*e + 1, "
+                          "%d], %d)",
+                          t.ext(), t.ew, wide, t.ext(), t.ew, wide));
+            e.simd(name("padal", t),
+                   format("acc: bits(%d), a: bits(%d)", vw, vw), vw, wide, 1,
+                   format("Elem[acc, e, %d] + %s(Elem[a, 2*e, %d], %d) + "
+                          "%s(Elem[a, 2*e + 1, %d], %d)",
+                          wide, t.ext(), t.ew, wide, t.ext(), t.ew, wide));
+        }
+
+        // Saturating doubling multiply high.
+        for (int ew : {16, 32}) {
+            ElemType t{true, ew};
+            const std::string A = el("a", ew);
+            const std::string B = el("b", ew);
+            e.simd(name("qdmulh", t), e.args2(), vw, ew, 4,
+                   format("SSat((SExt(%s, %d) * SExt(%s, %d) * 2) >> %d, %d)",
+                          A.c_str(), 2 * ew + 1, B.c_str(), 2 * ew + 1, ew,
+                          ew));
+            e.simd(name("qrdmulh", t), e.args2(), vw, ew, 4,
+                   format("SSat((((SExt(%s, %d) * SExt(%s, %d) * 2) >> %d) "
+                          "+ 1) >> 1, %d)",
+                          A.c_str(), 2 * ew + 2, B.c_str(), 2 * ew + 2,
+                          ew - 1, ew));
+        }
+
+        // 4-way byte dot products with accumulator (sdot/udot).
+        for (bool sign : {true, false}) {
+            ElemType t{sign, 32};
+            std::string dot;
+            for (int k = 0; k < 4; ++k) {
+                if (k)
+                    dot += " + ";
+                dot += format("%s(Elem[a, 4*e + %d, 8], 32) * %s(Elem[b, "
+                              "4*e + %d, 8], 32)",
+                              t.ext(), k, t.ext(), k);
+            }
+            e.simd(format("v%sdot%s_%s32", sign ? "s" : "u", q,
+                          sign ? "s" : "u"),
+                   e.args3(), vw, 32, 4,
+                   format("%s + %s", el("acc", 32).c_str(), dot.c_str()));
+        }
+
+        if (vw == 64) {
+            // Widening (long) instructions: D inputs, Q output.
+            for (const auto &t : narrow_types) {
+                const int wide = 2 * t.ew;
+                const int n = 64 / t.ew;
+                const std::string args2 = e.args2();
+                auto wname = [&](const char *stem) {
+                    return format("v%s_%s", stem, t.str().c_str());
+                };
+                auto wsimd = [&](const char *stem, const std::string &args,
+                                 int lat, const std::string &expr) {
+                    const int out_w = n * wide;
+                    std::string body = format("for e = 0 to %d do\n", n - 1);
+                    body += format("Elem[dst, e, %d] = %s;\n", wide,
+                                   expr.c_str());
+                    body += "endfor\n";
+                    e.inst(wname(stem), args, out_w, lat, body);
+                };
+                const std::string EA =
+                    format("%s(%s, %d)", t.ext(), el("a", t.ew).c_str(),
+                           wide);
+                const std::string EB =
+                    format("%s(%s, %d)", t.ext(), el("b", t.ew).c_str(),
+                           wide);
+                wsimd("movl", e.args1(), 1, EA);
+                wsimd("addl", args2, 1, EA + " + " + EB);
+                wsimd("subl", args2, 1, EA + " - " + EB);
+                wsimd("abdl", args2, 1,
+                      format("ZExt(Trunc(Abs(%s(%s, %d) - %s(%s, %d)), %d), "
+                             "%d)",
+                             t.ext(), el("a", t.ew).c_str(), t.ew + 1,
+                             t.ext(), el("b", t.ew).c_str(), t.ew + 1, t.ew,
+                             wide));
+                wsimd("mull", args2, 4, EA + " * " + EB);
+                const std::string acc_args = format(
+                    "acc: bits(%d), a: bits(%d), b: bits(%d)", n * wide, 64,
+                    64);
+                wsimd("mlal", acc_args, 4,
+                      format("Elem[acc, e, %d] + %s * %s", wide, EA.c_str(),
+                             EB.c_str()));
+                wsimd("mlsl", acc_args, 4,
+                      format("Elem[acc, e, %d] - %s * %s", wide, EA.c_str(),
+                             EB.c_str()));
+                // addw/subw: wide first operand.
+                const std::string waargs = format(
+                    "a: bits(%d), b: bits(%d)", n * wide, 64);
+                wsimd("addw", waargs, 1,
+                      format("Elem[a, e, %d] + %s", wide, EB.c_str()));
+                wsimd("subw", waargs, 1,
+                      format("Elem[a, e, %d] - %s", wide, EB.c_str()));
+                wsimd("shll_n", format("a: bits(64), n: imm"), 1,
+                      format("%s << n", EA.c_str()));
+            }
+        } else {
+            // Narrowing instructions: Q input, D output.
+            for (const auto &t : narrow_types) {
+                if (!t.sign)
+                    continue; // NEON names narrows by the input type.
+                const int in_ew = 2 * t.ew;
+                const int n = 128 / in_ew;
+                auto nsimd = [&](const std::string &iname,
+                                 const std::string &args,
+                                 const std::string &expr) {
+                    std::string body = format("for e = 0 to %d do\n", n - 1);
+                    body += format("Elem[dst, e, %d] = %s;\n", t.ew,
+                                   expr.c_str());
+                    body += "endfor\n";
+                    e.inst(iname, args, 64, 1, body);
+                };
+                const std::string in_t = format("s%d", in_ew);
+                const std::string A = el("a", in_ew);
+                const std::string B = el("b", in_ew);
+                nsimd(format("vmovn_%s", in_t.c_str()), e.args1(),
+                      format("Trunc(%s, %d)", A.c_str(), t.ew));
+                nsimd(format("vqmovn_%s", in_t.c_str()), e.args1(),
+                      format("SSat(%s, %d)", A.c_str(), t.ew));
+                nsimd(format("vqmovn_u%d", in_ew), e.args1(),
+                      format("USat(ZExt(%s, %d), %d)", A.c_str(), in_ew + 1,
+                             t.ew));
+                nsimd(format("vqmovun_%s", in_t.c_str()), e.args1(),
+                      format("USat(%s, %d)", A.c_str(), t.ew));
+                nsimd(format("vaddhn_%s", in_t.c_str()), e.args2(),
+                      format("Bits(%s + %s, %d, %d)", A.c_str(), B.c_str(),
+                             in_ew - 1, t.ew));
+                nsimd(format("vsubhn_%s", in_t.c_str()), e.args2(),
+                      format("Bits(%s - %s, %d, %d)", A.c_str(), B.c_str(),
+                             in_ew - 1, t.ew));
+                nsimd(format("vraddhn_%s", in_t.c_str()), e.args2(),
+                      format("Bits(%s + %s + %lld, %d, %d)", A.c_str(),
+                             B.c_str(),
+                             static_cast<long long>(1ll << (t.ew - 1)),
+                             in_ew - 1, t.ew));
+                nsimd(format("vshrn_n_%s", in_t.c_str()),
+                      format("a: bits(128), n: imm"),
+                      format("Trunc(%s >> n, %d)", A.c_str(), t.ew));
+                nsimd(format("vqshrn_n_%s", in_t.c_str()),
+                      format("a: bits(128), n: imm"),
+                      format("SSat(%s >> n, %d)", A.c_str(), t.ew));
+                nsimd(format("vqshrun_n_%s", in_t.c_str()),
+                      format("a: bits(128), n: imm"),
+                      format("USat(%s >> n, %d)", A.c_str(), t.ew));
+                nsimd(format("vrshrn_n_%s", in_t.c_str()),
+                      format("a: bits(128), n: imm"),
+                      format("Trunc(((%s >> (n - 1)) + 1) >> 1, %d)",
+                             A.c_str(), t.ew));
+            }
+        }
+    }
+
+    return spec;
+}
+
+} // namespace hydride

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Programmatic stand-in for the ARM Developer NEON intrinsics
+ * database: generates the AArch64 NEON vector ISA as ASL-style
+ * pseudocode text consumed by the ARM parser. Covers D (64-bit) and
+ * Q (128-bit) forms over signed/unsigned 8/16/32/64-bit elements —
+ * including widening (long), narrowing (narrow/high-narrow),
+ * saturating, halving, pairwise and dot-product families, plus the
+ * zip/uzp/trn/ext/rev swizzles.
+ *
+ * NEON deliberately names wrap-around operations per type (vadd_s8
+ * and vadd_u8 share semantics); the generator reproduces this, and
+ * the similarity engine is expected to merge those variants into one
+ * equivalence class — this is a large part of why ARM's ISA-to-
+ * AutoLLVM compression ratio in Table 1 is high.
+ */
+#ifndef HYDRIDE_SPECS_ARM_MANUAL_H
+#define HYDRIDE_SPECS_ARM_MANUAL_H
+
+#include "specs/isa.h"
+
+namespace hydride {
+
+/** Generate the full ARM NEON vendor specification document. */
+IsaSpec generateArmManual();
+
+} // namespace hydride
+
+#endif // HYDRIDE_SPECS_ARM_MANUAL_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parser for the ARM (ASL/ARM-Developer-style) pseudocode dialect.
+ *
+ * Grammar sketch:
+ *
+ *   INSTRUCTION name (a: bits(128), n: imm, ...) => bits(128) LATENCY k
+ *     for e = 0 to 7 do
+ *       Elem[dst, e, 16] = SExt(Elem[a, e, 16], 17) + ...;
+ *     endfor
+ *   ENDINSTRUCTION
+ *
+ * `Elem[x, e, w]` denotes the w-bit element e of x; `Bits(x, hi, lo)`
+ * is a raw bit-slice. Intrinsic functions: SExt, ZExt, Trunc, SSat,
+ * USat, SMin, SMax, UMin, UMax, SAvg, UAvg, Abs, PopCount, UGT, UGE,
+ * Ones, Zeros.
+ */
+#ifndef HYDRIDE_SPECS_ARM_PARSER_H
+#define HYDRIDE_SPECS_ARM_PARSER_H
+
+#include "hir/semantics.h"
+#include "specs/isa.h"
+
+namespace hydride {
+
+/** Parse one ARM-dialect instruction definition. */
+SpecFunction parseArmInst(const InstDef &inst);
+
+} // namespace hydride
+
+#endif // HYDRIDE_SPECS_ARM_PARSER_H

@@ -1,0 +1,451 @@
+#include "specs/hvx_manual.h"
+
+#include "support/strings.h"
+
+#include <vector>
+
+namespace hydride {
+
+namespace {
+
+/** Lane-type letter for an element width. */
+const char *
+laneType(int ew)
+{
+    switch (ew) {
+      case 8: return "b";
+      case 16: return "h";
+      default: return "w";
+    }
+}
+
+const char *
+ulaneType(int ew)
+{
+    switch (ew) {
+      case 8: return "ub";
+      case 16: return "uh";
+      default: return "uw";
+    }
+}
+
+struct HvxEmitter
+{
+    IsaSpec &spec;
+    int vw;              ///< Single-register width in bits.
+    std::string suffix;  ///< "_64B" / "_128B" mode suffix.
+
+    void
+    inst(const std::string &name, const std::string &args, int out_w,
+         int lat, const std::string &body)
+    {
+        std::string text = format("INST %s(%s) -> v%d LAT %d {\n",
+                                  (name + suffix).c_str(), args.c_str(),
+                                  out_w, lat);
+        text += body;
+        text += "}\n";
+        spec.insts.push_back({name + suffix, text});
+    }
+
+    std::string
+    loop(int n, const std::string &body) const
+    {
+        return format("for (i = 0; i < %d; i++) {\n%s}\n", n, body.c_str());
+    }
+
+    /** One-output-per-element instruction over `width`-bit registers. */
+    void
+    simd(const std::string &name, const std::string &args, int reg_w,
+         int ew, int lat, const std::string &elem_expr, int out_w = 0,
+         int out_ew = 0)
+    {
+        if (out_w == 0)
+            out_w = reg_w;
+        if (out_ew == 0)
+            out_ew = ew;
+        const int n = out_w / out_ew;
+        inst(name, args, out_w, lat,
+             loop(n, format("dst.%s[i] = %s;\n", laneType(out_ew),
+                            elem_expr.c_str())));
+    }
+
+    std::string
+    args2() const
+    {
+        return format("Vu: v%d, Vv: v%d", vw, vw);
+    }
+
+    std::string
+    args1() const
+    {
+        return format("Vu: v%d", vw);
+    }
+};
+
+/** `Vu.h[i]`-style element accessor string. */
+std::string
+el(const char *reg, int ew, const std::string &idx = "i")
+{
+    return format("%s.%s[%s]", reg, laneType(ew), idx.c_str());
+}
+
+} // namespace
+
+IsaSpec
+generateHvxManual()
+{
+    IsaSpec spec;
+    spec.isa = "hvx";
+
+    const int ews[] = {8, 16, 32};
+
+    for (int vw : {512, 1024}) {
+        HvxEmitter e{spec, vw, vw == 512 ? "_64B" : "_128B"};
+        const std::string a2 = e.args2();
+        const std::string a1 = e.args1();
+        const std::string apair2 =
+            format("Vuu: v%d, Vvv: v%d", 2 * vw, 2 * vw);
+
+        for (int ew : ews) {
+            const char *t = laneType(ew);
+            const char *ut = ulaneType(ew);
+            const std::string A = el("Vu", ew);
+            const std::string B = el("Vv", ew);
+
+            // Wrapping and saturating add/sub (single and double reg).
+            e.simd(format("vadd%s", t), a2, vw, ew, 1, A + " + " + B);
+            e.simd(format("vsub%s", t), a2, vw, ew, 1, A + " - " + B);
+            e.simd(format("vadd%s_sat", t), a2, vw, ew, 1,
+                   format("sat(sxt(%s, %d) + sxt(%s, %d), %d)", A.c_str(),
+                          ew + 1, B.c_str(), ew + 1, ew));
+            e.simd(format("vadd%s_sat", ut), a2, vw, ew, 1,
+                   format("usat(zxt(%s, %d) + zxt(%s, %d), %d)", A.c_str(),
+                          ew + 2, B.c_str(), ew + 2, ew));
+            e.simd(format("vsub%s_sat", t), a2, vw, ew, 1,
+                   format("sat(sxt(%s, %d) - sxt(%s, %d), %d)", A.c_str(),
+                          ew + 1, B.c_str(), ew + 1, ew));
+            e.simd(format("vsub%s_sat", ut), a2, vw, ew, 1,
+                   format("usat(zxt(%s, %d) - zxt(%s, %d), %d)", A.c_str(),
+                          ew + 2, B.c_str(), ew + 2, ew));
+
+            // Double-vector (register pair) add/sub.
+            const std::string Ap = el("Vuu", ew);
+            const std::string Bp = el("Vvv", ew);
+            e.simd(format("vadd%s_dv", t), apair2, 2 * vw, ew, 1,
+                   Ap + " + " + Bp);
+            e.simd(format("vsub%s_dv", t), apair2, 2 * vw, ew, 1,
+                   Ap + " - " + Bp);
+            e.simd(format("vadd%s_sat_dv", t), apair2, 2 * vw, ew, 1,
+                   format("sat(sxt(%s, %d) + sxt(%s, %d), %d)", Ap.c_str(),
+                          ew + 1, Bp.c_str(), ew + 1, ew));
+            e.simd(format("vsub%s_sat_dv", t), apair2, 2 * vw, ew, 1,
+                   format("sat(sxt(%s, %d) - sxt(%s, %d), %d)", Ap.c_str(),
+                          ew + 1, Bp.c_str(), ew + 1, ew));
+
+            // Averages: rounding signed/unsigned, and negated average.
+            e.simd(format("vavg%s", t), a2, vw, ew, 1,
+                   format("avg(%s, %s)", A.c_str(), B.c_str()));
+            e.simd(format("vavg%s", ut), a2, vw, ew, 1,
+                   format("avgu(%s, %s)", A.c_str(), B.c_str()));
+            e.simd(format("vnavg%s", t), a2, vw, ew, 1,
+                   format("trunc((sxt(%s, %d) - sxt(%s, %d)) >> 1, %d)",
+                          A.c_str(), ew + 1, B.c_str(), ew + 1, ew));
+
+            // Absolute difference and absolute value.
+            e.simd(format("vabsdiff%s", t), a2, vw, ew, 1,
+                   format("trunc(abs(sxt(%s, %d) - sxt(%s, %d)), %d)",
+                          A.c_str(), ew + 1, B.c_str(), ew + 1, ew));
+            e.simd(format("vabsdiff%s", ut), a2, vw, ew, 1,
+                   format("trunc(abs(zxt(%s, %d) - zxt(%s, %d)), %d)",
+                          A.c_str(), ew + 1, B.c_str(), ew + 1, ew));
+            e.simd(format("vabs%s", t), a1, vw, ew, 1,
+                   format("abs(%s)", A.c_str()));
+
+            // Min / max.
+            e.simd(format("vmin%s", t), a2, vw, ew, 1,
+                   format("min(%s, %s)", A.c_str(), B.c_str()));
+            e.simd(format("vmax%s", t), a2, vw, ew, 1,
+                   format("max(%s, %s)", A.c_str(), B.c_str()));
+            e.simd(format("vmin%s", ut), a2, vw, ew, 1,
+                   format("minu(%s, %s)", A.c_str(), B.c_str()));
+            e.simd(format("vmax%s", ut), a2, vw, ew, 1,
+                   format("maxu(%s, %s)", A.c_str(), B.c_str()));
+
+            // Shifts: register forms mask the amount (the notorious
+            // HVX semantics detail that Table 2 shows Rake got wrong);
+            // immediate forms take the amount as given.
+            e.simd(format("vasl%s", t), a2, vw, ew, 1,
+                   format("%s << (%s & %d)", A.c_str(), B.c_str(), ew - 1));
+            e.simd(format("vasr%s", t), a2, vw, ew, 1,
+                   format("%s >> (%s & %d)", A.c_str(), B.c_str(), ew - 1));
+            e.simd(format("vlsr%s", t), a2, vw, ew, 1,
+                   format("%s >>> (%s & %d)", A.c_str(), B.c_str(), ew - 1));
+            const std::string aimm = format("Vu: v%d, Rt: imm", vw);
+            e.simd(format("vasl%s_imm", t), aimm, vw, ew, 1,
+                   format("%s << Rt", A.c_str()));
+            e.simd(format("vasr%s_imm", t), aimm, vw, ew, 1,
+                   format("%s >> Rt", A.c_str()));
+            e.simd(format("vlsr%s_imm", t), aimm, vw, ew, 1,
+                   format("%s >>> Rt", A.c_str()));
+            // Rounding arithmetic shift right.
+            e.simd(format("vasr%s_rnd", t), aimm, vw, ew, 1,
+                   format("trunc(((sxt(%s, %d) >> Rt) + 1) >> 1, %d)",
+                          A.c_str(), ew + 1, ew));
+        }
+
+        // Element-wise multiplies (16- and 32-bit lanes).
+        for (int ew : {16, 32}) {
+            const char *t = laneType(ew);
+            const std::string A = el("Vu", ew);
+            const std::string B = el("Vv", ew);
+            e.simd(format("vmpyi%s", t), a2, vw, ew, 4, A + " * " + B);
+            e.simd(format("vmpyi%s_acc", t),
+                   format("Vx: v%d, Vu: v%d, Vv: v%d", vw, vw, vw), vw, ew,
+                   4,
+                   format("%s + %s * %s", el("Vx", ew).c_str(), A.c_str(),
+                          B.c_str()));
+            e.simd(format("vmpye%s", t), a2, vw, ew, 4,
+                   format("(sxt(%s, %d) * sxt(%s, %d))[%d:%d]", A.c_str(),
+                          2 * ew, B.c_str(), 2 * ew, 2 * ew - 1, ew));
+            e.simd(format("vmpye%s_u", t), a2, vw, ew, 4,
+                   format("(zxt(%s, %d) * zxt(%s, %d))[%d:%d]", A.c_str(),
+                          2 * ew, B.c_str(), 2 * ew, 2 * ew - 1, ew));
+        }
+
+        // Whole-register logic.
+        {
+            const int w = vw - 1;
+            e.inst("vand", a2, vw, 1,
+                   format("dst[%d:0] = Vu[%d:0] & Vv[%d:0];\n", w, w, w));
+            e.inst("vor", a2, vw, 1,
+                   format("dst[%d:0] = Vu[%d:0] | Vv[%d:0];\n", w, w, w));
+            e.inst("vxor", a2, vw, 1,
+                   format("dst[%d:0] = Vu[%d:0] ^ Vv[%d:0];\n", w, w, w));
+            e.inst("vnot", a1, vw, 1,
+                   format("dst[%d:0] = ~Vu[%d:0];\n", w, w));
+        }
+
+        // vcombine: pair output Vu:Vv (Vv is the low half).
+        for (int ew : {8}) {
+            const int n = vw / ew;
+            std::string body;
+            body += e.loop(n, format("dst.%s[i] = %s;\n", laneType(ew),
+                                     el("Vv", ew).c_str()));
+            body += e.loop(n, format("dst.%s[%d + i] = %s;\n", laneType(ew),
+                                     n, el("Vu", ew).c_str()));
+            e.inst("vcombine", a2, 2 * vw, 1, body);
+        }
+
+        // Pair halves: extract the low/high vector of a pair.
+        {
+            const int n = vw / 8;
+            const std::string pair_args = format("Vuu: v%d", 2 * vw);
+            // Pair halves are register aliases on Hexagon: free.
+            e.inst("vlo", pair_args, vw, 0,
+                   e.loop(n, "dst.b[i] = Vuu.b[i];\n"));
+            e.inst("vhi", pair_args, vw, 0,
+                   e.loop(n, format("dst.b[i] = Vuu.b[%d + i];\n", n)));
+        }
+
+        // vshuffe / vshuffo: even (odd) elements of both inputs.
+        for (int ew : {8, 16}) {
+            const char *t = laneType(ew);
+            const int n = vw / ew / 2;
+            for (int odd = 0; odd < 2; ++odd) {
+                std::string body = e.loop(
+                    n, format("dst.%s[2*i] = Vv.%s[2*i + %d];\n"
+                              "dst.%s[2*i + 1] = Vu.%s[2*i + %d];\n",
+                              t, t, odd, t, t, odd));
+                e.inst(format("vshuff%s%s", odd ? "o" : "e", t), a2, vw, 1,
+                       body);
+            }
+        }
+
+        // vshuff: full interleave of two vectors into a pair.
+        // vdeal: full deinterleave of two vectors into a pair.
+        for (int ew : ews) {
+            const char *t = laneType(ew);
+            const int n = vw / ew;
+            std::string body = e.loop(
+                n, format("dst.%s[2*i] = %s;\ndst.%s[2*i + 1] = %s;\n", t,
+                          el("Vv", ew).c_str(), t, el("Vu", ew).c_str()));
+            e.inst(format("vshuff%s", t), a2, 2 * vw, 1, body);
+
+            std::string deal;
+            deal += e.loop(n / 2, format("dst.%s[i] = Vv.%s[2*i];\n", t, t));
+            deal += e.loop(n / 2, format("dst.%s[%d + i] = Vu.%s[2*i];\n", t,
+                                         n / 2, t));
+            deal += e.loop(n / 2, format("dst.%s[%d + i] = Vv.%s[2*i + 1];\n",
+                                         t, n, t));
+            deal += e.loop(
+                n / 2, format("dst.%s[%d + i] = Vu.%s[2*i + 1];\n", t,
+                              n + n / 2, t));
+            e.inst(format("vdeal%s", t), a2, 2 * vw, 1, deal);
+        }
+
+        // Group-interleave (vshuffvdd-style, fixed group sizes): the
+        // instruction Figure 5 of the paper builds a 2x2 transpose
+        // from.
+        for (int ew : {8, 16}) {
+            const char *t = laneType(ew);
+            const int n = vw / ew;
+            for (int group : {2, 4}) {
+                std::string inner;
+                for (int g = 0; g < group; ++g) {
+                    inner += format("dst.%s[%d*i + %d] = Vv.%s[%d*i + %d];\n",
+                                    t, 2 * group, g, t, group, g);
+                }
+                for (int g = 0; g < group; ++g) {
+                    inner += format(
+                        "dst.%s[%d*i + %d] = Vu.%s[%d*i + %d];\n", t,
+                        2 * group, group + g, t, group, g);
+                }
+                e.inst(format("vshuffvdd_%d%s", group, t), a2, 2 * vw, 1,
+                       e.loop(n / group, inner));
+            }
+        }
+
+        // Narrowing packs: even/odd selection and saturating packs.
+        for (int ew : {16, 32}) {
+            const int out_ew = ew / 2;
+            const char *ot = laneType(out_ew);
+            const int n = vw / ew;
+            for (const char *which : {"e", "o"}) {
+                std::string lo_expr =
+                    which[0] == 'e'
+                        ? format("trunc(%s, %d)", el("Vv", ew).c_str(),
+                                 out_ew)
+                        : format("(%s)[%d:%d]", el("Vv", ew).c_str(), ew - 1,
+                                 out_ew);
+                std::string hi_expr =
+                    which[0] == 'e'
+                        ? format("trunc(%s, %d)", el("Vu", ew).c_str(),
+                                 out_ew)
+                        : format("(%s)[%d:%d]", el("Vu", ew).c_str(), ew - 1,
+                                 out_ew);
+                std::string body;
+                body += e.loop(n, format("dst.%s[i] = %s;\n", ot,
+                                         lo_expr.c_str()));
+                body += e.loop(n, format("dst.%s[%d + i] = %s;\n", ot, n,
+                                         hi_expr.c_str()));
+                e.inst(format("vpack%s%s", which, ot), a2, vw, 1, body);
+            }
+            for (int uns = 0; uns < 2; ++uns) {
+                const char *sat = uns ? "usat" : "sat";
+                std::string body;
+                body += e.loop(n, format("dst.%s[i] = %s(%s, %d);\n", ot,
+                                         sat, el("Vv", ew).c_str(), out_ew));
+                body += e.loop(n,
+                               format("dst.%s[%d + i] = %s(%s, %d);\n", ot, n,
+                                      sat, el("Vu", ew).c_str(), out_ew));
+                e.inst(format("vpack%s%s_sat", uns ? ulaneType(out_ew) : ot,
+                              ot),
+                       a2, vw, 1, body);
+            }
+        }
+
+        // Widening unpacks: single register to pair.
+        for (int ew : {8, 16}) {
+            const int out_ew = 2 * ew;
+            const char *ot = laneType(out_ew);
+            const int n = vw / ew;
+            e.inst(format("vunpack%s", laneType(ew)), a1, 2 * vw, 1,
+                   e.loop(n, format("dst.%s[i] = sxt(%s, %d);\n", ot,
+                                    el("Vu", ew).c_str(), out_ew)));
+            e.inst(format("vunpack%s", ulaneType(ew)), a1, 2 * vw, 1,
+                   e.loop(n, format("dst.%s[i] = zxt(%s, %d);\n", ot,
+                                    el("Vu", ew).c_str(), out_ew)));
+        }
+
+        // Narrowing shift with saturation (vasr variants).
+        for (int ew : {16, 32}) {
+            const int out_ew = ew / 2;
+            const int n = vw / ew;
+            for (int uns = 0; uns < 2; ++uns) {
+                const char *sat = uns ? "usat" : "sat";
+                const char *ot = uns ? ulaneType(out_ew) : laneType(out_ew);
+                std::string body;
+                body += e.loop(
+                    n, format("dst.%s[i] = %s(%s >> Rt, %d);\n",
+                              laneType(out_ew), sat,
+                              el("Vvv", ew, "i").c_str(), out_ew));
+                body += e.loop(
+                    n, format("dst.%s[%d + i] = %s(%s >> Rt, %d);\n",
+                              laneType(out_ew), n, sat,
+                              format("Vvv.%s[%d + i]", laneType(ew), n)
+                                  .c_str(),
+                              out_ew));
+                e.inst(format("vasr%s%s_sat", laneType(ew), ot),
+                       format("Vvv: v%d, Rt: imm", 2 * vw), vw, 2, body);
+            }
+        }
+
+        // vdmpy: 2-way dot product of halfwords into words, with
+        // accumulating and saturating variants (mirrors x86 madd /
+        // dpwssd at the semantic level).
+        {
+            const int n = vw / 32;
+            const std::string dot =
+                "sxt(Vu.h[2*i], 32) * sxt(Vv.h[2*i], 32) + "
+                "sxt(Vu.h[2*i + 1], 32) * sxt(Vv.h[2*i + 1], 32)";
+            e.simd("vdmpyh", a2, vw, 32, 4, dot, vw, 32);
+            e.simd("vdmpyh_acc",
+                   format("Vx: v%d, Vu: v%d, Vv: v%d", vw, vw, vw), vw, 32,
+                   4, format("Vx.w[i] + (%s)", dot.c_str()));
+            e.simd("vdmpyh_sat", a2, vw, 32, 4,
+                   format("sat(sxt(Vu.h[2*i], 33) * sxt(Vv.h[2*i], 33) + "
+                          "sxt(Vu.h[2*i + 1], 33) * sxt(Vv.h[2*i + 1], 33), "
+                          "32)"));
+            e.simd("vdmpyh_acc_sat",
+                   format("Vx: v%d, Vu: v%d, Vv: v%d", vw, vw, vw), vw, 32,
+                   4,
+                   format("sat(sxt(Vx.w[i], 34) + sxt(%s, 34), 32)",
+                          dot.c_str()));
+            (void)n;
+        }
+
+        // vrmpy: 4-way byte dot product into words.
+        {
+            std::string dot;
+            for (int k = 0; k < 4; ++k) {
+                if (k)
+                    dot += " + ";
+                dot += format("zxt(Vu.b[4*i + %d], 32) * sxt(Vv.b[4*i + %d], "
+                              "32)",
+                              k, k);
+            }
+            std::string sdot;
+            for (int k = 0; k < 4; ++k) {
+                if (k)
+                    sdot += " + ";
+                sdot += format("sxt(Vu.b[4*i + %d], 32) * sxt(Vv.b[4*i + "
+                               "%d], 32)",
+                               k, k);
+            }
+            e.simd("vrmpyub", a2, vw, 32, 4, dot);
+            e.simd("vrmpyb", a2, vw, 32, 4, sdot);
+            e.simd("vrmpyub_acc",
+                   format("Vx: v%d, Vu: v%d, Vv: v%d", vw, vw, vw), vw, 32,
+                   4, format("Vx.w[i] + (%s)", dot.c_str()));
+            e.simd("vrmpyb_acc",
+                   format("Vx: v%d, Vu: v%d, Vv: v%d", vw, vw, vw), vw, 32,
+                   4, format("Vx.w[i] + (%s)", sdot.c_str()));
+        }
+
+        // vror: rotate the whole vector right by Rt bytes.
+        {
+            const int n = vw / 8;
+            e.inst("vror", format("Vu: v%d, Rt: imm", vw), vw, 1,
+                   e.loop(n, format("dst.b[i] = Vu.b[(i + Rt) %% %d];\n",
+                                    n)));
+        }
+
+        // Per-element population count (halfwords).
+        e.simd("vpopcounth", a1, vw, 16, 2,
+               format("popcount(%s)", el("Vu", 16).c_str()));
+    }
+
+    return spec;
+}
+
+} // namespace hydride

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Programmatic stand-in for the Qualcomm Hexagon HVX Programmer's
+ * Reference Manual: generates the HVX vector ISA as C-style
+ * pseudocode text (the PRM's own notation) that the HVX parser
+ * consumes. Covers both vector modes (64B: 512-bit and 128B:
+ * 1024-bit registers, with double-vector pairs), including the
+ * complex non-SIMD instructions Hydride exploits: vdmpy (2-way dot),
+ * vrmpy (4-way dot), saturating arithmetic, vshuff/vdeal swizzles and
+ * vcombine.
+ */
+#ifndef HYDRIDE_SPECS_HVX_MANUAL_H
+#define HYDRIDE_SPECS_HVX_MANUAL_H
+
+#include "specs/isa.h"
+
+namespace hydride {
+
+/** Generate the full HVX vendor specification document. */
+IsaSpec generateHvxManual();
+
+} // namespace hydride
+
+#endif // HYDRIDE_SPECS_HVX_MANUAL_H

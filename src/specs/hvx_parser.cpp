@@ -1,0 +1,285 @@
+#include "specs/hvx_parser.h"
+
+#include "specs/parser_common.h"
+#include "support/error.h"
+
+namespace hydride {
+
+namespace {
+
+/** Lane accessor table: suffix -> element width. */
+int
+laneWidth(const std::string &suffix)
+{
+    if (suffix == "b" || suffix == "ub")
+        return 8;
+    if (suffix == "h" || suffix == "uh")
+        return 16;
+    if (suffix == "w" || suffix == "uw")
+        return 32;
+    return 0;
+}
+
+class HvxParser : public ExprParserBase
+{
+  public:
+    explicit HvxParser(const InstDef &inst)
+        : ExprParserBase(lexPseudocode(inst.pseudocode), "hvx:" + inst.name)
+    {
+    }
+
+    SpecFunction
+    parse()
+    {
+        cur_.expect("INST");
+        fn_.isa = "hvx";
+        fn_.name = cur_.expectIdent();
+        cur_.expect("(");
+        if (!cur_.lookingAt(")")) {
+            do {
+                const std::string arg_name = cur_.expectIdent();
+                cur_.expect(":");
+                if (cur_.accept("imm")) {
+                    fn_.int_args.push_back(arg_name);
+                    scope_.int_vars[arg_name] = true;
+                } else {
+                    const int width = expectVecType();
+                    ParseScope::BVSym sym;
+                    sym.index = static_cast<int>(fn_.bv_args.size());
+                    sym.width = width;
+                    scope_.bv_args[arg_name] = sym;
+                    fn_.bv_args.push_back({arg_name, intConst(width)});
+                }
+            } while (cur_.accept(","));
+        }
+        cur_.expect(")");
+        cur_.expect("->");
+        fn_.out_width = expectVecType();
+        cur_.expect("LAT");
+        fn_.latency = static_cast<int>(cur_.expectNumber());
+        cur_.expect("{");
+        fn_.body = parseStmts();
+        cur_.expect("}");
+        return std::move(fn_);
+    }
+
+  private:
+    /** Parse `vN` as a vector type, returning the width N. */
+    int
+    expectVecType()
+    {
+        const std::string type = cur_.expectIdent();
+        if (type.size() < 2 || type[0] != 'v')
+            cur_.fail("expected vector type `vN`");
+        return std::stoi(type.substr(1));
+    }
+
+    std::vector<StmtPtr>
+    parseStmts()
+    {
+        std::vector<StmtPtr> stmts;
+        while (!cur_.lookingAt("}"))
+            stmts.push_back(parseStmt());
+        return stmts;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        if (cur_.accept("for")) {
+            cur_.expect("(");
+            const std::string var = cur_.expectIdent();
+            cur_.expect("=");
+            TypedExpr lo = parseExpr();
+            requireInt(lo, "for lower bound");
+            cur_.expect(";");
+            const std::string var2 = cur_.expectIdent();
+            if (var2 != var)
+                cur_.fail("for-loop condition must test the loop variable");
+            cur_.expect("<");
+            TypedExpr bound = parseExpr();
+            requireInt(bound, "for upper bound");
+            cur_.expect(";");
+            const std::string var3 = cur_.expectIdent();
+            if (var3 != var)
+                cur_.fail("for-loop increment must bump the loop variable");
+            cur_.expect("+");
+            cur_.expect("+");
+            cur_.expect(")");
+            cur_.expect("{");
+            scope_.int_vars[var] = true;
+            std::vector<StmtPtr> body = parseStmts();
+            cur_.expect("}");
+            scope_.int_vars.erase(var);
+            return stmtFor(var, lo.expr,
+                           simplify(subI(bound.expr, intConst(1))),
+                           std::move(body));
+        }
+        if (cur_.lookingAt("dst")) {
+            cur_.take();
+            ExprPtr low;
+            int width = 0;
+            if (cur_.accept(".")) {
+                const std::string suffix = cur_.expectIdent();
+                width = laneWidth(suffix);
+                if (width == 0)
+                    cur_.fail("unknown lane accessor `." + suffix + "`");
+                cur_.expect("[");
+                TypedExpr idx = parseExpr();
+                requireInt(idx, "lane index");
+                cur_.expect("]");
+                low = mulI(idx.expr, intConst(width));
+            } else {
+                cur_.expect("[");
+                TypedExpr hi = parseExpr();
+                cur_.expect(":");
+                TypedExpr lo = parseExpr();
+                cur_.expect("]");
+                requireInt(hi, "slice high index");
+                requireInt(lo, "slice low index");
+                width = sliceWidth(hi.expr, lo.expr);
+                low = lo.expr;
+            }
+            cur_.expect("=");
+            TypedExpr value = parseExpr();
+            cur_.expect(";");
+            if (!value.is_bv)
+                value = coerceLiteral(value, width);
+            if (value.width != width)
+                cur_.fail("lane width mismatch in assignment to dst");
+            return stmtSliceAssign(low, intConst(width), value.expr);
+        }
+        const std::string var = cur_.expectIdent();
+        cur_.expect("=");
+        TypedExpr value = parseExpr();
+        cur_.expect(";");
+        requireInt(value, "let binding");
+        scope_.int_vars[var] = true;
+        return stmtLetInt(var, value.expr);
+    }
+
+    TypedExpr
+    parsePrimary() override
+    {
+        TypedExpr base = parseAtom();
+        while (base.is_bv) {
+            if (cur_.accept(".")) {
+                const std::string suffix = cur_.expectIdent();
+                const int width = laneWidth(suffix);
+                if (width == 0)
+                    cur_.fail("unknown lane accessor `." + suffix + "`");
+                cur_.expect("[");
+                TypedExpr idx = parseExpr();
+                requireInt(idx, "lane index");
+                cur_.expect("]");
+                TypedExpr out;
+                out.is_bv = true;
+                out.width = width;
+                out.expr = extract(base.expr, mulI(idx.expr, intConst(width)),
+                                   intConst(width));
+                base = out;
+            } else if (cur_.lookingAt("[")) {
+                cur_.take();
+                TypedExpr hi = parseExpr();
+                requireInt(hi, "slice index");
+                cur_.expect(":");
+                TypedExpr lo = parseExpr();
+                requireInt(lo, "slice low index");
+                cur_.expect("]");
+                TypedExpr out;
+                out.is_bv = true;
+                out.width = sliceWidth(hi.expr, lo.expr);
+                out.expr = extract(base.expr, lo.expr, intConst(out.width));
+                base = out;
+            } else {
+                break;
+            }
+        }
+        return base;
+    }
+
+    TypedExpr
+    parseAtom()
+    {
+        if (cur_.peek().kind == TokKind::Number) {
+            TypedExpr out;
+            out.expr = intConst(cur_.take().number);
+            return out;
+        }
+        if (cur_.accept("(")) {
+            TypedExpr inner = parseExpr();
+            cur_.expect(")");
+            return inner;
+        }
+        const std::string name = cur_.expectIdent();
+        if (cur_.lookingAt("(") && !scope_.isBV(name) && !scope_.isInt(name))
+            return parseCall(name);
+        if (scope_.isBV(name)) {
+            const auto &sym = scope_.bv_args.at(name);
+            TypedExpr out;
+            out.is_bv = true;
+            out.width = sym.width;
+            out.expr = argBV(sym.index);
+            return out;
+        }
+        if (scope_.isInt(name)) {
+            TypedExpr out;
+            out.expr = namedVar(name);
+            return out;
+        }
+        cur_.fail("unknown identifier `" + name + "`");
+    }
+
+    TypedExpr
+    parseCall(const std::string &name)
+    {
+        cur_.expect("(");
+        std::vector<TypedExpr> args;
+        if (!cur_.lookingAt(")")) {
+            do {
+                args.push_back(parseExpr());
+            } while (cur_.accept(","));
+        }
+        cur_.expect(")");
+
+        if (name == "sxt")
+            return callCast(BVCastOp::SExt, args, name);
+        if (name == "zxt")
+            return callCast(BVCastOp::ZExt, args, name);
+        if (name == "trunc")
+            return callCast(BVCastOp::Trunc, args, name);
+        if (name == "sat")
+            return callCast(BVCastOp::SatNarrowS, args, name);
+        if (name == "usat")
+            return callCast(BVCastOp::SatNarrowU, args, name);
+        if (name == "min")
+            return callBin(BVBinOp::MinS, args, name);
+        if (name == "max")
+            return callBin(BVBinOp::MaxS, args, name);
+        if (name == "minu")
+            return callBin(BVBinOp::MinU, args, name);
+        if (name == "maxu")
+            return callBin(BVBinOp::MaxU, args, name);
+        if (name == "avg")
+            return callBin(BVBinOp::AvgS, args, name);
+        if (name == "avgu")
+            return callBin(BVBinOp::AvgU, args, name);
+        if (name == "abs")
+            return callUn(BVUnOp::AbsS, args, name);
+        if (name == "popcount")
+            return callUn(BVUnOp::Popcount, args, name);
+        cur_.fail("unknown function `" + name + "`");
+    }
+
+    SpecFunction fn_;
+};
+
+} // namespace
+
+SpecFunction
+parseHvxInst(const InstDef &inst)
+{
+    return HvxParser(inst).parse();
+}
+
+} // namespace hydride

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Parser for the HVX (Qualcomm PRM C-style) pseudocode dialect.
+ *
+ * Grammar sketch:
+ *
+ *   INST name(Vu: vN | Rt: imm, ...) -> vN LAT k {
+ *     for (i = 0; i < N; i++) { ... }
+ *     dst.h[idx] = expr;        // lane accessor assignment
+ *     dst[hi:lo] = expr;        // raw bit-slice assignment
+ *   }
+ *
+ * Lane accessors `.b/.h/.w` (and unsigned aliases `.ub/.uh/.uw`)
+ * denote 8/16/32-bit elements. Intrinsic functions: sxt, zxt, trunc,
+ * sat, usat, min, max, minu, maxu, avg, avgu, abs, popcount.
+ */
+#ifndef HYDRIDE_SPECS_HVX_PARSER_H
+#define HYDRIDE_SPECS_HVX_PARSER_H
+
+#include "hir/semantics.h"
+#include "specs/isa.h"
+
+namespace hydride {
+
+/** Parse one HVX-dialect instruction definition. */
+SpecFunction parseHvxInst(const InstDef &inst);
+
+} // namespace hydride
+
+#endif // HYDRIDE_SPECS_HVX_PARSER_H

@@ -1,0 +1,17 @@
+#include "specs/isa.h"
+
+namespace hydride {
+
+std::string
+IsaSpec::renderManual() const
+{
+    std::string out;
+    out += "// ===== " + isa + " instruction set pseudocode manual =====\n";
+    for (const auto &inst : insts) {
+        out += "\n";
+        out += inst.pseudocode;
+    }
+    return out;
+}
+
+} // namespace hydride

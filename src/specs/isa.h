@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Vendor ISA specification types.
+ *
+ * An `IsaSpec` is what a "vendor manual" provides: a list of
+ * instruction definitions, each carrying the vendor's pseudocode text
+ * in that vendor's dialect. Hydride's pipeline consumes only this
+ * text; the programmatic generators in this directory stand in for
+ * the Intel Intrinsics Guide, the Qualcomm HVX Programmer's Reference
+ * Manual, and the ARM Developer intrinsics database (see DESIGN.md,
+ * substitution table).
+ */
+#ifndef HYDRIDE_SPECS_ISA_H
+#define HYDRIDE_SPECS_ISA_H
+
+#include <string>
+#include <vector>
+
+namespace hydride {
+
+/** One vendor instruction definition: name plus pseudocode text. */
+struct InstDef
+{
+    std::string name;
+    /** Dialect-specific pseudocode, including the signature header. */
+    std::string pseudocode;
+};
+
+/** A complete vendor ISA specification document. */
+struct IsaSpec
+{
+    /** ISA identifier: "x86", "hvx" or "arm". */
+    std::string isa;
+    std::vector<InstDef> insts;
+
+    /** Render the whole document as one manual-like text blob. */
+    std::string renderManual() const;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_SPECS_ISA_H

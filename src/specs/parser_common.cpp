@@ -1,0 +1,458 @@
+#include "specs/parser_common.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+#include <cctype>
+
+namespace hydride {
+
+std::vector<Token>
+lexPseudocode(const std::string &text)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    size_t i = 0;
+    const size_t n = text.size();
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            while (i < n && text[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            while (i < n && std::isdigit(static_cast<unsigned char>(text[i])))
+                ++i;
+            Token tok;
+            tok.kind = TokKind::Number;
+            tok.text = text.substr(start, i - start);
+            tok.number = std::stoll(tok.text);
+            tok.line = line;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                             text[i] == '_')) {
+                ++i;
+            }
+            Token tok;
+            tok.kind = TokKind::Ident;
+            tok.text = text.substr(start, i - start);
+            tok.line = line;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+        // Multi-character punctuation, longest-match first.
+        static const char *kMulti[] = {"<<", ">>>", ">>", ":=", "==", "!=",
+                                       "<=", ">=", "->", "=>", "&&", "||",
+                                       "+:"};
+        std::string punct(1, c);
+        for (const char *m : kMulti) {
+            const size_t len = std::string(m).size();
+            if (text.compare(i, len, m) == 0 &&
+                punct.size() < len) {
+                punct = m;
+            }
+        }
+        Token tok;
+        tok.kind = TokKind::Punct;
+        tok.text = punct;
+        tok.line = line;
+        tokens.push_back(std::move(tok));
+        i += punct.size();
+    }
+    Token end;
+    end.kind = TokKind::End;
+    end.line = line;
+    tokens.push_back(std::move(end));
+    return tokens;
+}
+
+TokenCursor::TokenCursor(std::vector<Token> tokens, std::string source_name)
+    : tokens_(std::move(tokens)), source_name_(std::move(source_name))
+{
+    HYD_ASSERT(!tokens_.empty() && tokens_.back().kind == TokKind::End,
+               "token stream must end with End");
+}
+
+const Token &
+TokenCursor::peek(int ahead) const
+{
+    const size_t index = std::min(pos_ + static_cast<size_t>(ahead),
+                                  tokens_.size() - 1);
+    return tokens_[index];
+}
+
+Token
+TokenCursor::take()
+{
+    Token tok = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size())
+        ++pos_;
+    return tok;
+}
+
+Token
+TokenCursor::expect(const std::string &text)
+{
+    if (peek().text != text)
+        fail("expected `" + text + "` but found `" + peek().text + "`");
+    return take();
+}
+
+std::string
+TokenCursor::expectIdent()
+{
+    if (peek().kind != TokKind::Ident)
+        fail("expected identifier, found `" + peek().text + "`");
+    return take().text;
+}
+
+int64_t
+TokenCursor::expectNumber()
+{
+    if (peek().kind == TokKind::Number)
+        return take().number;
+    // Allow negative literals where a number is required.
+    if (peek().text == "-" && peek(1).kind == TokKind::Number) {
+        take();
+        return -take().number;
+    }
+    fail("expected number, found `" + peek().text + "`");
+}
+
+bool
+TokenCursor::accept(const std::string &text)
+{
+    if (peek().text == text) {
+        take();
+        return true;
+    }
+    return false;
+}
+
+bool
+TokenCursor::lookingAt(const std::string &text) const
+{
+    return peek().text == text;
+}
+
+void
+TokenCursor::fail(const std::string &message) const
+{
+    fatal(source_name_ + ":" + std::to_string(peek().line) +
+          ": parse error: " + message);
+}
+
+} // namespace hydride
+
+namespace hydride {
+
+// ---- ExprParserBase ---------------------------------------------------------
+
+TypedExpr
+ExprParserBase::parseTernary()
+{
+    TypedExpr cond = parseOr();
+    if (!cur_.accept("?"))
+        return cond;
+    TypedExpr then_e = parseTernary();
+    cur_.expect(":");
+    TypedExpr else_e = parseTernary();
+    if (!cond.is_bv || cond.width != 1)
+        cur_.fail("ternary condition must be a 1-bit value");
+    if (then_e.is_bv && !else_e.is_bv)
+        else_e = coerceLiteral(else_e, then_e.width);
+    if (!then_e.is_bv && else_e.is_bv)
+        then_e = coerceLiteral(then_e, else_e.width);
+    if (!then_e.is_bv || then_e.width != else_e.width)
+        cur_.fail("ternary branches must have matching widths");
+    TypedExpr out;
+    out.is_bv = true;
+    out.width = then_e.width;
+    out.expr = select(cond.expr, then_e.expr, else_e.expr);
+    return out;
+}
+
+TypedExpr
+ExprParserBase::parseOr()
+{
+    TypedExpr lhs = parseXor();
+    while (cur_.lookingAt("|")) {
+        cur_.take();
+        lhs = combineBV(BVBinOp::Or, lhs, parseXor());
+    }
+    return lhs;
+}
+
+TypedExpr
+ExprParserBase::parseXor()
+{
+    TypedExpr lhs = parseAnd();
+    while (cur_.lookingAt("^")) {
+        cur_.take();
+        lhs = combineBV(BVBinOp::Xor, lhs, parseAnd());
+    }
+    return lhs;
+}
+
+TypedExpr
+ExprParserBase::parseAnd()
+{
+    TypedExpr lhs = parseCmp();
+    while (cur_.lookingAt("&")) {
+        cur_.take();
+        lhs = combineBV(BVBinOp::And, lhs, parseCmp());
+    }
+    return lhs;
+}
+
+TypedExpr
+ExprParserBase::parseCmp()
+{
+    TypedExpr lhs = parseShift();
+    static const char *kOps[] = {"==", "!=", "<", "<=", ">", ">="};
+    for (const char *op : kOps) {
+        if (cur_.lookingAt(op)) {
+            cur_.take();
+            TypedExpr rhs = parseShift();
+            return makeCompare(op, lhs, rhs);
+        }
+    }
+    return lhs;
+}
+
+TypedExpr
+ExprParserBase::parseShift()
+{
+    TypedExpr lhs = parseAdd();
+    while (true) {
+        BVBinOp op;
+        if (cur_.lookingAt("<<"))
+            op = BVBinOp::Shl;
+        else if (cur_.lookingAt(">>>"))
+            op = BVBinOp::LShr;
+        else if (cur_.lookingAt(">>"))
+            op = BVBinOp::AShr;
+        else
+            break;
+        cur_.take();
+        TypedExpr rhs = parseAdd();
+        if (!lhs.is_bv)
+            cur_.fail("shift of a non-bitvector");
+        if (!rhs.is_bv) {
+            // Integer shift amounts become constants of operand width.
+            rhs.expr = bvConst(intConst(lhs.width), rhs.expr);
+            rhs.is_bv = true;
+            rhs.width = lhs.width;
+        }
+        lhs = combineBV(op, lhs, rhs);
+    }
+    return lhs;
+}
+
+TypedExpr
+ExprParserBase::parseAdd()
+{
+    TypedExpr lhs = parseMul();
+    while (cur_.lookingAt("+") || cur_.lookingAt("-")) {
+        const bool is_add = cur_.take().text == "+";
+        TypedExpr rhs = parseMul();
+        if (lhs.is_bv || rhs.is_bv) {
+            lhs = combineBV(is_add ? BVBinOp::Add : BVBinOp::Sub, lhs, rhs);
+        } else {
+            lhs.expr = intBin(is_add ? IntBinOp::Add : IntBinOp::Sub,
+                              lhs.expr, rhs.expr);
+        }
+    }
+    return lhs;
+}
+
+TypedExpr
+ExprParserBase::parseMul()
+{
+    TypedExpr lhs = parseUnary();
+    while (cur_.lookingAt("*") || cur_.lookingAt("/") || cur_.lookingAt("%")) {
+        const std::string op = cur_.take().text;
+        TypedExpr rhs = parseUnary();
+        if (op == "*" && (lhs.is_bv || rhs.is_bv)) {
+            lhs = combineBV(BVBinOp::Mul, lhs, rhs);
+        } else {
+            requireInt(lhs, "integer arithmetic");
+            requireInt(rhs, "integer arithmetic");
+            const IntBinOp int_op = op == "*"   ? IntBinOp::Mul
+                                    : op == "/" ? IntBinOp::Div
+                                                : IntBinOp::Mod;
+            lhs.expr = intBin(int_op, lhs.expr, rhs.expr);
+        }
+    }
+    return lhs;
+}
+
+TypedExpr
+ExprParserBase::parseUnary()
+{
+    if (cur_.accept("~")) {
+        TypedExpr operand = parseUnary();
+        if (!operand.is_bv)
+            cur_.fail("~ applies to bitvectors");
+        operand.expr = bvUn(BVUnOp::Not, operand.expr);
+        return operand;
+    }
+    if (cur_.lookingAt("-") && cur_.peek(1).kind != TokKind::Number) {
+        cur_.take();
+        TypedExpr operand = parseUnary();
+        if (operand.is_bv)
+            operand.expr = bvUn(BVUnOp::Neg, operand.expr);
+        else
+            operand.expr = subI(intConst(0), operand.expr);
+        return operand;
+    }
+    return parsePrimary();
+}
+
+void
+ExprParserBase::requireInt(const TypedExpr &expr, const std::string &what)
+{
+    if (expr.is_bv)
+        cur_.fail(what + " must be an integer expression");
+}
+
+int
+ExprParserBase::constOf(const ExprPtr &expr, const std::string &what)
+{
+    ExprPtr folded = simplify(expr);
+    if (folded->kind != ExprKind::IntConst)
+        cur_.fail(what + " must fold to a constant");
+    return static_cast<int>(folded->value);
+}
+
+int
+ExprParserBase::sliceWidth(const ExprPtr &hi, const ExprPtr &lo)
+{
+    const int width = constOf(addI(subI(hi, lo), intConst(1)), "slice width");
+    if (width < 1)
+        cur_.fail("slice width must be positive");
+    return width;
+}
+
+TypedExpr
+ExprParserBase::coerceLiteral(TypedExpr value, int width)
+{
+    if (value.is_bv)
+        return value;
+    TypedExpr out;
+    out.is_bv = true;
+    out.width = width;
+    out.expr = bvConst(intConst(width), value.expr);
+    return out;
+}
+
+TypedExpr
+ExprParserBase::combineBV(BVBinOp op, TypedExpr lhs, TypedExpr rhs)
+{
+    if (lhs.is_bv && !rhs.is_bv)
+        rhs = coerceLiteral(rhs, lhs.width);
+    if (!lhs.is_bv && rhs.is_bv)
+        lhs = coerceLiteral(lhs, rhs.width);
+    if (!lhs.is_bv || !rhs.is_bv)
+        cur_.fail("bitvector operator applied to integers");
+    if (lhs.width != rhs.width)
+        cur_.fail("bitvector operand width mismatch");
+    TypedExpr out;
+    out.is_bv = true;
+    out.width = lhs.width;
+    out.expr = bvBin(op, lhs.expr, rhs.expr);
+    return out;
+}
+
+TypedExpr
+ExprParserBase::makeCompare(const std::string &op, TypedExpr lhs,
+                            TypedExpr rhs, bool unsigned_cmp)
+{
+    // Integer comparisons are wrapped into 32-bit constants so the
+    // comparison lives in the bitvector domain (Hydride IR has no
+    // boolean integer type).
+    if (!lhs.is_bv && !rhs.is_bv) {
+        lhs = coerceLiteral(lhs, 32);
+        rhs = coerceLiteral(rhs, 32);
+    }
+    if (lhs.is_bv && !rhs.is_bv)
+        rhs = coerceLiteral(rhs, lhs.width);
+    if (!lhs.is_bv && rhs.is_bv)
+        lhs = coerceLiteral(lhs, rhs.width);
+    if (lhs.width != rhs.width)
+        cur_.fail("comparison width mismatch");
+    TypedExpr out;
+    out.is_bv = true;
+    out.width = 1;
+    const BVCmpOp lt = unsigned_cmp ? BVCmpOp::Ult : BVCmpOp::Slt;
+    const BVCmpOp le = unsigned_cmp ? BVCmpOp::Ule : BVCmpOp::Sle;
+    if (op == "==")
+        out.expr = bvCmp(BVCmpOp::Eq, lhs.expr, rhs.expr);
+    else if (op == "!=")
+        out.expr = bvCmp(BVCmpOp::Ne, lhs.expr, rhs.expr);
+    else if (op == "<")
+        out.expr = bvCmp(lt, lhs.expr, rhs.expr);
+    else if (op == "<=")
+        out.expr = bvCmp(le, lhs.expr, rhs.expr);
+    else if (op == ">")
+        out.expr = bvCmp(lt, rhs.expr, lhs.expr);
+    else
+        out.expr = bvCmp(le, rhs.expr, lhs.expr);
+    return out;
+}
+
+TypedExpr
+ExprParserBase::callCast(BVCastOp op, std::vector<TypedExpr> &args,
+                         const std::string &name)
+{
+    if (args.size() != 2)
+        cur_.fail(name + " expects 2 arguments");
+    if (!args[0].is_bv)
+        cur_.fail(name + " operand must be a bitvector");
+    requireInt(args[1], name + " width");
+    const int width = constOf(args[1].expr, name + " width");
+    TypedExpr out;
+    out.is_bv = true;
+    out.width = width;
+    out.expr = bvCast(op, args[0].expr, intConst(width));
+    return out;
+}
+
+TypedExpr
+ExprParserBase::callBin(BVBinOp op, std::vector<TypedExpr> &args,
+                        const std::string &name)
+{
+    if (args.size() != 2)
+        cur_.fail(name + " expects 2 arguments");
+    return combineBV(op, args[0], args[1]);
+}
+
+TypedExpr
+ExprParserBase::callUn(BVUnOp op, std::vector<TypedExpr> &args,
+                       const std::string &name)
+{
+    if (args.size() != 1)
+        cur_.fail(name + " expects 1 argument");
+    if (!args[0].is_bv)
+        cur_.fail(name + " operand must be a bitvector");
+    TypedExpr out = args[0];
+    out.expr = bvUn(op, out.expr);
+    return out;
+}
+
+} // namespace hydride

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Shared lexer and parser scaffolding for the three ISA pseudocode
+ * dialects. Each dialect has its own recursive-descent parser (as in
+ * the paper, which implemented one parser per vendor manual), but all
+ * three share this tokenizer and the typed-expression helpers.
+ */
+#ifndef HYDRIDE_SPECS_PARSER_COMMON_H
+#define HYDRIDE_SPECS_PARSER_COMMON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hir/expr.h"
+
+namespace hydride {
+
+/** Token categories produced by the shared lexer. */
+enum class TokKind {
+    Ident,   ///< Identifiers and keywords.
+    Number,  ///< Decimal integer literal.
+    Punct,   ///< Operators and punctuation (possibly multi-char).
+    End,     ///< End of input.
+};
+
+/** One lexed token with source location for diagnostics. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int64_t number = 0;
+    int line = 1;
+};
+
+/** Tokenize pseudocode. Comment syntax: `//` to end of line. */
+std::vector<Token> lexPseudocode(const std::string &text);
+
+/**
+ * A typed expression produced by the dialect parsers: either an Int
+ * expression or a BV expression with a statically known concrete
+ * width (the parsers run the bitwidth type inference the paper's
+ * Hydride IR generator performs).
+ */
+struct TypedExpr
+{
+    ExprPtr expr;
+    bool is_bv = false;
+    int width = 0; ///< Valid when is_bv.
+};
+
+/**
+ * Token cursor with the error handling and symbol-table plumbing all
+ * three dialect parsers share. Parsers subclass or embed this.
+ */
+class TokenCursor
+{
+  public:
+    TokenCursor(std::vector<Token> tokens, std::string source_name);
+
+    const Token &peek(int ahead = 0) const;
+    Token take();
+
+    /** Consume a token matching `text`, else fail with a diagnostic. */
+    Token expect(const std::string &text);
+
+    /** Consume an identifier token, else fail. */
+    std::string expectIdent();
+
+    /** Consume a number token, else fail. */
+    int64_t expectNumber();
+
+    /** True (and consumes) if the next token is `text`. */
+    bool accept(const std::string &text);
+
+    /** True if the next token is `text` (no consumption). */
+    bool lookingAt(const std::string &text) const;
+
+    /** Raise a parse error mentioning the source and line. */
+    [[noreturn]] void fail(const std::string &message) const;
+
+  private:
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    std::string source_name_;
+};
+
+/**
+ * Symbol table used while parsing one instruction body: bitvector
+ * arguments (with widths), integer immediates, loop variables and
+ * integer lets.
+ */
+struct ParseScope
+{
+    struct BVSym
+    {
+        int index;
+        int width;
+    };
+    std::map<std::string, BVSym> bv_args;
+    std::map<std::string, bool> int_vars; ///< Loop vars, lets, immediates.
+
+    bool isBV(const std::string &name) const
+    {
+        return bv_args.count(name) != 0;
+    }
+    bool isInt(const std::string &name) const
+    {
+        return int_vars.count(name) != 0;
+    }
+};
+
+/**
+ * Shared typed-expression parser: precedence climbing over the
+ * operator set all three dialects use (`?:`, `| ^ &`, comparisons,
+ * `<< >> >>>`, `+ -`, `* / %`, unary `- ~`), with bottom-up concrete
+ * bitwidth inference. Dialects subclass and implement parsePrimary()
+ * (identifiers, slices / lane accessors, intrinsic functions).
+ */
+class ExprParserBase
+{
+  public:
+    ExprParserBase(std::vector<Token> tokens, std::string source_name)
+        : cur_(std::move(tokens), std::move(source_name))
+    {
+    }
+    virtual ~ExprParserBase() = default;
+
+  protected:
+    /** Dialect hook: primary expression including dialect postfixes. */
+    virtual TypedExpr parsePrimary() = 0;
+
+    TypedExpr parseExpr() { return parseTernary(); }
+
+    // Precedence levels.
+    TypedExpr parseTernary();
+    TypedExpr parseOr();
+    TypedExpr parseXor();
+    TypedExpr parseAnd();
+    TypedExpr parseCmp();
+    TypedExpr parseShift();
+    TypedExpr parseAdd();
+    TypedExpr parseMul();
+    TypedExpr parseUnary();
+
+    // Typed-combination helpers shared by the dialects.
+    void requireInt(const TypedExpr &expr, const std::string &what);
+    int constOf(const ExprPtr &expr, const std::string &what);
+    int sliceWidth(const ExprPtr &hi, const ExprPtr &lo);
+    TypedExpr coerceLiteral(TypedExpr value, int width);
+    TypedExpr combineBV(BVBinOp op, TypedExpr lhs, TypedExpr rhs);
+    TypedExpr makeCompare(const std::string &op, TypedExpr lhs,
+                          TypedExpr rhs, bool unsigned_cmp = false);
+
+    /** Intrinsic-function dispatch shared by every dialect: the
+     *  dialect maps its surface name onto one of these and calls. */
+    TypedExpr callCast(BVCastOp op, std::vector<TypedExpr> &args,
+                       const std::string &name);
+    TypedExpr callBin(BVBinOp op, std::vector<TypedExpr> &args,
+                      const std::string &name);
+    TypedExpr callUn(BVUnOp op, std::vector<TypedExpr> &args,
+                     const std::string &name);
+
+    TokenCursor cur_;
+    ParseScope scope_;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_SPECS_PARSER_COMMON_H

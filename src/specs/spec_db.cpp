@@ -1,0 +1,92 @@
+#include "specs/spec_db.h"
+
+#include "hir/canonicalize.h"
+#include "specs/arm_manual.h"
+#include "specs/arm_parser.h"
+#include "specs/hvx_manual.h"
+#include "specs/hvx_parser.h"
+#include "specs/x86_manual.h"
+#include "specs/x86_parser.h"
+#include "support/error.h"
+
+#include <map>
+#include <mutex>
+
+namespace hydride {
+
+const std::vector<std::string> &
+builtinIsas()
+{
+    static const std::vector<std::string> isas = {"x86", "hvx", "arm"};
+    return isas;
+}
+
+const IsaSpec &
+isaManual(const std::string &isa)
+{
+    static std::map<std::string, IsaSpec> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(isa);
+    if (it != cache.end())
+        return it->second;
+    IsaSpec spec;
+    if (isa == "x86")
+        spec = generateX86Manual();
+    else if (isa == "hvx")
+        spec = generateHvxManual();
+    else if (isa == "arm")
+        spec = generateArmManual();
+    else
+        fatal("unknown ISA `" + isa + "`");
+    return cache.emplace(isa, std::move(spec)).first->second;
+}
+
+SpecFunction
+parseInst(const std::string &isa, const InstDef &inst)
+{
+    if (isa == "x86")
+        return parseX86Inst(inst);
+    if (isa == "hvx")
+        return parseHvxInst(inst);
+    if (isa == "arm")
+        return parseArmInst(inst);
+    fatal("unknown ISA `" + isa + "`");
+}
+
+const IsaSemantics &
+isaSemantics(const std::string &isa)
+{
+    static std::map<std::string, IsaSemantics> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(isa);
+    if (it != cache.end())
+        return it->second;
+
+    IsaSemantics sema;
+    sema.isa = isa;
+    for (const auto &inst : isaManual(isa).insts) {
+        SpecFunction fn = parseInst(isa, inst);
+        CanonicalizeResult result = canonicalize(fn);
+        if (!result.ok) {
+            fatal("canonicalization failed for " + isa + ":" + inst.name +
+                  ": " + result.error);
+        }
+        sema.insts.push_back(std::move(result.sem));
+    }
+    return cache.emplace(isa, std::move(sema)).first->second;
+}
+
+std::vector<CanonicalSemantics>
+combinedSemantics(const std::vector<std::string> &isas)
+{
+    std::vector<CanonicalSemantics> all;
+    for (const auto &isa : isas) {
+        const IsaSemantics &sema = isaSemantics(isa);
+        all.insert(all.end(), sema.insts.begin(), sema.insts.end());
+    }
+    return all;
+}
+
+} // namespace hydride

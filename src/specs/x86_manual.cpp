@@ -1,0 +1,1009 @@
+#include "specs/x86_manual.h"
+
+#include "support/strings.h"
+
+#include <functional>
+#include <vector>
+
+namespace hydride {
+
+namespace {
+
+/** Vector register configurations. */
+struct VecCfg
+{
+    int vw;
+    const char *prefix;
+};
+
+const VecCfg kVecs[] = {{128, "_mm"}, {256, "_mm256"}, {512, "_mm512"}};
+
+std::string
+epi(int ew)
+{
+    return format("epi%d", ew);
+}
+
+std::string
+epu(int ew)
+{
+    return format("epu%d", ew);
+}
+
+/** Slice string `name[i+W-1:i]` given a precomputed base index var. */
+std::string
+sl(const std::string &reg, const std::string &base, int width)
+{
+    return format("%s[%s+%d:%s]", reg.c_str(), base.c_str(), width - 1,
+                  base.c_str());
+}
+
+/** Emit one instruction into the spec. */
+void
+emit(IsaSpec &spec, const std::string &name, const std::string &text)
+{
+    spec.insts.push_back({name, text});
+}
+
+/**
+ * Emit a SIMD one-output-per-element instruction:
+ * `expr` computes the element from `i` (bit index of the element).
+ */
+void
+emitSimd(IsaSpec &spec, const std::string &name, int vw, int ew,
+         const std::string &args, int out_w, int lat,
+         const std::string &expr, int out_ew = 0)
+{
+    if (out_ew == 0)
+        out_ew = ew;
+    const int n = out_w / out_ew;
+    std::string text;
+    text += format("DEFINE %s(%s) -> bit[%d] LAT %d\n", name.c_str(),
+                   args.c_str(), out_w, lat);
+    text += format("FOR j := 0 to %d\n", n - 1);
+    text += format("i := j*%d\n", out_ew);
+    text += format("dst[i+%d:i] := %s\n", out_ew - 1, expr.c_str());
+    text += "ENDFOR\nENDDEF\n";
+    emit(spec, name, text);
+    (void)vw;
+    (void)ew;
+}
+
+std::string
+vecArgs2(int vw)
+{
+    return format("a: bit[%d], b: bit[%d]", vw, vw);
+}
+
+/** The standard two-operand element accessors. */
+struct ElemOps
+{
+    std::string a, b;
+    ElemOps(int ew)
+        : a(sl("a", "i", ew)), b(sl("b", "i", ew))
+    {
+    }
+};
+
+// ---- Compute family bodies -------------------------------------------------
+//
+// IMPORTANT: the expression *shapes* here are deliberately mirrored by
+// the HVX and ARM manual generators (same widening margins, operand
+// order and operator choice) because cross-ISA equivalence-class
+// merging depends on the canonicalized semantics matching structurally
+// after constant extraction. See DESIGN.md "Key internal design
+// points". Notation: W = element width.
+
+std::string
+bodyAdd(int ew)
+{
+    ElemOps e(ew);
+    return e.a + " + " + e.b;
+}
+
+std::string
+bodySub(int ew)
+{
+    ElemOps e(ew);
+    return e.a + " - " + e.b;
+}
+
+std::string
+bodyMullo(int ew)
+{
+    ElemOps e(ew);
+    return e.a + " * " + e.b;
+}
+
+std::string
+bodyMulhi(int ew, bool is_signed)
+{
+    ElemOps e(ew);
+    const char *ext = is_signed ? "SignExtend" : "ZeroExtend";
+    return format("(%s(%s, %d) * %s(%s, %d))[%d:%d]", ext, e.a.c_str(),
+                  2 * ew, ext, e.b.c_str(), 2 * ew, 2 * ew - 1, ew);
+}
+
+std::string
+bodyMulhrs(int ew)
+{
+    ElemOps e(ew);
+    return format(
+        "Truncate((((SignExtend(%s, %d) * SignExtend(%s, %d)) >> %d) + 1) "
+        ">> 1, %d)",
+        e.a.c_str(), 2 * ew, e.b.c_str(), 2 * ew, ew - 2, ew);
+}
+
+std::string
+bodyAddSatS(int ew)
+{
+    ElemOps e(ew);
+    return format("Saturate(SignExtend(%s, %d) + SignExtend(%s, %d), %d)",
+                  e.a.c_str(), ew + 1, e.b.c_str(), ew + 1, ew);
+}
+
+std::string
+bodyAddSatU(int ew)
+{
+    ElemOps e(ew);
+    return format("SaturateU(ZeroExtend(%s, %d) + ZeroExtend(%s, %d), %d)",
+                  e.a.c_str(), ew + 2, e.b.c_str(), ew + 2, ew);
+}
+
+std::string
+bodySubSatS(int ew)
+{
+    ElemOps e(ew);
+    return format("Saturate(SignExtend(%s, %d) - SignExtend(%s, %d), %d)",
+                  e.a.c_str(), ew + 1, e.b.c_str(), ew + 1, ew);
+}
+
+std::string
+bodySubSatU(int ew)
+{
+    ElemOps e(ew);
+    return format("SaturateU(ZeroExtend(%s, %d) - ZeroExtend(%s, %d), %d)",
+                  e.a.c_str(), ew + 2, e.b.c_str(), ew + 2, ew);
+}
+
+std::string
+bodyFn2(const char *fn, int ew)
+{
+    ElemOps e(ew);
+    return format("%s(%s, %s)", fn, e.a.c_str(), e.b.c_str());
+}
+
+std::string
+bodyAbs(int ew)
+{
+    ElemOps e(ew);
+    return format("ABS(%s)", e.a.c_str());
+}
+
+std::string
+bodyCmp(const char *op, int ew)
+{
+    ElemOps e(ew);
+    return format("%s %s %s ? ALLONES(%d) : ZEROS(%d)", e.a.c_str(), op,
+                  e.b.c_str(), ew, ew);
+}
+
+std::string
+bodyShiftImm(const char *op, int ew)
+{
+    ElemOps e(ew);
+    return format("%s %s imm", e.a.c_str(), op);
+}
+
+std::string
+bodyShiftVar(const char *op, int ew)
+{
+    ElemOps e(ew);
+    return format("%s %s %s", e.a.c_str(), op, e.b.c_str());
+}
+
+std::string
+bodyRotImm(int ew)
+{
+    ElemOps e(ew);
+    return format("(%s << imm) | (%s >>> (%d - imm))", e.a.c_str(),
+                  e.a.c_str(), ew);
+}
+
+/** Wrap a compute body into an AVX-512 merge-masked element. */
+std::string
+masked(const std::string &body, int ew)
+{
+    return format("k[j] ? (%s) : %s", body.c_str(), sl("src", "i", ew).c_str());
+}
+
+/** Wrap a compute body into an AVX-512 zero-masked element. */
+std::string
+maskedZ(const std::string &body)
+{
+    return format("k[j] ? (%s) : 0", body.c_str());
+}
+
+} // namespace
+
+IsaSpec
+generateX86Manual()
+{
+    IsaSpec spec;
+    spec.isa = "x86";
+
+    const int all_ew[] = {8, 16, 32, 64};
+    const int small_ew[] = {8, 16};
+    const int mid_ew[] = {16, 32};
+    const int wide_ew[] = {16, 32, 64};
+    const int rot_ew[] = {32, 64};
+
+    // A compute family: name stem, applicable element widths, latency,
+    // body builder, and whether AVX-512 masked variants exist.
+    struct Family
+    {
+        std::string stem;
+        std::vector<int> ews;
+        int lat;
+        std::function<std::string(int)> body;
+        bool maskable;
+        bool unsigned_suffix;
+        int arity = 2;
+    };
+
+    std::vector<Family> families = {
+        {"add", {all_ew, all_ew + 4}, 1, bodyAdd, true, false},
+        {"sub", {all_ew, all_ew + 4}, 1, bodySub, true, false},
+        {"adds", {small_ew, small_ew + 2}, 1, bodyAddSatS, true, false},
+        {"adds", {small_ew, small_ew + 2}, 1, bodyAddSatU, true, true},
+        {"subs", {small_ew, small_ew + 2}, 1, bodySubSatS, true, false},
+        {"subs", {small_ew, small_ew + 2}, 1, bodySubSatU, true, true},
+        {"mullo", {wide_ew, wide_ew + 3}, 5, bodyMullo, true, false},
+        {"mulhi", {16}, 5, [](int ew) { return bodyMulhi(ew, true); }, true,
+         false},
+        {"mulhi", {16}, 5, [](int ew) { return bodyMulhi(ew, false); }, true,
+         true},
+        {"mulhrs", {16}, 5, bodyMulhrs, true, false},
+        {"min", {all_ew, all_ew + 4}, 1,
+         [](int ew) { return bodyFn2("MIN", ew); }, true, false},
+        {"max", {all_ew, all_ew + 4}, 1,
+         [](int ew) { return bodyFn2("MAX", ew); }, true, false},
+        {"min", {all_ew, all_ew + 4}, 1,
+         [](int ew) { return bodyFn2("MINU", ew); }, true, true},
+        {"max", {all_ew, all_ew + 4}, 1,
+         [](int ew) { return bodyFn2("MAXU", ew); }, true, true},
+        {"avg", {small_ew, small_ew + 2}, 1,
+         [](int ew) { return bodyFn2("AVGU", ew); }, true, true},
+        {"abs", {8, 16, 32}, 1, bodyAbs, true, false, 1},
+        {"cmpeq", {all_ew, all_ew + 4}, 1,
+         [](int ew) { return bodyCmp("==", ew); }, false, false},
+        {"cmpgt", {all_ew, all_ew + 4}, 1,
+         [](int ew) { return bodyCmp(">", ew); }, false, false},
+    };
+
+    for (const auto &vec : kVecs) {
+        for (const auto &fam : families) {
+            for (int ew : fam.ews) {
+                const std::string suffix =
+                    fam.unsigned_suffix ? epu(ew) : epi(ew);
+                const std::string name =
+                    format("%s_%s_%s", vec.prefix, fam.stem.c_str(),
+                           suffix.c_str());
+                const std::string plain_args =
+                    fam.arity == 2 ? vecArgs2(vec.vw)
+                                   : format("a: bit[%d]", vec.vw);
+                emitSimd(spec, name, vec.vw, ew, plain_args, vec.vw,
+                         fam.lat, fam.body(ew));
+                if (fam.maskable) {
+                    const int n = vec.vw / ew;
+                    emitSimd(spec,
+                             format("%s_mask_%s_%s", vec.prefix,
+                                    fam.stem.c_str(), suffix.c_str()),
+                             vec.vw, ew,
+                             format("src: bit[%d], k: bit[%d], %s", vec.vw,
+                                    n, plain_args.c_str()),
+                             vec.vw, fam.lat, masked(fam.body(ew), ew));
+                    emitSimd(spec,
+                             format("%s_maskz_%s_%s", vec.prefix,
+                                    fam.stem.c_str(), suffix.c_str()),
+                             vec.vw, ew,
+                             format("k: bit[%d], %s", n,
+                                    plain_args.c_str()),
+                             vec.vw, fam.lat, maskedZ(fam.body(ew)));
+                }
+            }
+        }
+
+        // Immediate and variable shifts, and rotates.
+        struct ShiftFam
+        {
+            const char *stem;
+            const char *op;
+            bool variable;
+        };
+        const ShiftFam shifts[] = {
+            {"slli", "<<", false}, {"srli", ">>>", false},
+            {"srai", ">>", false}, {"sllv", "<<", true},
+            {"srlv", ">>>", true}, {"srav", ">>", true},
+        };
+        for (const auto &sh : shifts) {
+            for (int ew : wide_ew) {
+                const std::string name = format("%s_%s_%s", vec.prefix,
+                                                sh.stem, epi(ew).c_str());
+                const std::string body = sh.variable
+                                             ? bodyShiftVar(sh.op, ew)
+                                             : bodyShiftImm(sh.op, ew);
+                const std::string args =
+                    sh.variable
+                        ? vecArgs2(vec.vw)
+                        : format("a: bit[%d], imm: imm", vec.vw);
+                emitSimd(spec, name, vec.vw, ew, args, vec.vw,
+                         sh.variable ? 2 : 1, body);
+                // Masked variants.
+                const int n = vec.vw / ew;
+                const std::string mbase = sh.variable
+                                              ? vecArgs2(vec.vw)
+                                              : format("a: bit[%d], imm: imm",
+                                                       vec.vw);
+                emitSimd(spec,
+                         format("%s_mask_%s_%s", vec.prefix, sh.stem,
+                                epi(ew).c_str()),
+                         vec.vw, ew,
+                         format("src: bit[%d], k: bit[%d], %s", vec.vw, n,
+                                mbase.c_str()),
+                         vec.vw, sh.variable ? 2 : 1, masked(body, ew));
+            }
+        }
+        for (int ew : rot_ew) {
+            const int n = vec.vw / ew;
+            const std::string mask_pre =
+                format("src: bit[%d], k: bit[%d], ", vec.vw, n);
+            // Immediate rotates (AVX-512 vprold/vprord family).
+            for (const char *dir : {"rol", "ror"}) {
+                const std::string body =
+                    dir[2] == 'l'
+                        ? bodyRotImm(ew)
+                        : format("(%s >>> imm) | (%s << (%d - imm))",
+                                 sl("a", "i", ew).c_str(),
+                                 sl("a", "i", ew).c_str(), ew);
+                const std::string args =
+                    format("a: bit[%d], imm: imm", vec.vw);
+                emitSimd(spec,
+                         format("%s_%s_%s", vec.prefix, dir, epi(ew).c_str()),
+                         vec.vw, ew, args, vec.vw, 1, body);
+                emitSimd(spec,
+                         format("%s_mask_%s_%s", vec.prefix, dir,
+                                epi(ew).c_str()),
+                         vec.vw, ew, mask_pre + args, vec.vw, 1,
+                         masked(body, ew));
+            }
+            // Variable rotates (vprolv/vprorv).
+            for (const char *dir : {"rolv", "rorv"}) {
+                const std::string amt =
+                    format("(%s & %d)", sl("b", "i", ew).c_str(), ew - 1);
+                const std::string body =
+                    dir[2] == 'l'
+                        ? format("(%s << %s) | (%s >>> (%d - %s))",
+                                 sl("a", "i", ew).c_str(), amt.c_str(),
+                                 sl("a", "i", ew).c_str(), ew, amt.c_str())
+                        : format("(%s >>> %s) | (%s << (%d - %s))",
+                                 sl("a", "i", ew).c_str(), amt.c_str(),
+                                 sl("a", "i", ew).c_str(), ew, amt.c_str());
+                emitSimd(spec,
+                         format("%s_%s_%s", vec.prefix, dir, epi(ew).c_str()),
+                         vec.vw, ew, vecArgs2(vec.vw), vec.vw, 1, body);
+                emitSimd(spec,
+                         format("%s_mask_%s_%s", vec.prefix, dir,
+                                epi(ew).c_str()),
+                         vec.vw, ew, mask_pre + vecArgs2(vec.vw), vec.vw, 1,
+                         masked(body, ew));
+            }
+        }
+
+        // Shift by the scalar count held in the low word of a second
+        // vector (psllw/psrlw/psraw-style sll/srl/sra).
+        for (const auto &sh : std::initializer_list<
+                 std::pair<const char *, const char *>>{
+                 {"sll", "<<"}, {"srl", ">>>"}, {"sra", ">>"}}) {
+            for (int ew : wide_ew) {
+                ElemOps e(ew);
+                const std::string body =
+                    format("%s %s b[%d:0]", e.a.c_str(), sh.second, ew - 1);
+                emitSimd(spec,
+                         format("%s_%s_%s", vec.prefix, sh.first,
+                                epi(ew).c_str()),
+                         vec.vw, ew, vecArgs2(vec.vw), vec.vw, 2, body);
+                const int n = vec.vw / ew;
+                emitSimd(spec,
+                         format("%s_mask_%s_%s", vec.prefix, sh.first,
+                                epi(ew).c_str()),
+                         vec.vw, ew,
+                         format("src: bit[%d], k: bit[%d], %s", vec.vw, n,
+                                vecArgs2(vec.vw).c_str()),
+                         vec.vw, 2, masked(body, ew));
+            }
+        }
+
+        // Funnel (double-register) shifts by immediate: shldi/shrdi.
+        for (const char *dir : {"shldi", "shrdi"}) {
+            for (int ew : wide_ew) {
+                ElemOps e(ew);
+                std::string cat = format(
+                    "(ZeroExtend(%s, %d) << %d) | ZeroExtend(%s, %d)",
+                    e.a.c_str(), 2 * ew, ew, e.b.c_str(), 2 * ew);
+                const std::string body =
+                    dir[2] == 'l'
+                        ? format("Truncate((%s) >>> (%d - imm), %d)",
+                                 cat.c_str(), ew, ew)
+                        : format("Truncate((%s) >>> imm, %d)", cat.c_str(),
+                                 ew);
+                const std::string args =
+                    format("a: bit[%d], b: bit[%d], imm: imm", vec.vw,
+                           vec.vw);
+                emitSimd(spec,
+                         format("%s_%s_%s", vec.prefix, dir, epi(ew).c_str()),
+                         vec.vw, ew, args, vec.vw, 2, body);
+                const int n = vec.vw / ew;
+                emitSimd(spec,
+                         format("%s_mask_%s_%s", vec.prefix, dir,
+                                epi(ew).c_str()),
+                         vec.vw, ew,
+                         format("src: bit[%d], k: bit[%d], %s", vec.vw, n,
+                                args.c_str()),
+                         vec.vw, 2, masked(body, ew));
+            }
+        }
+
+        // AVX-512 compare-into-mask: one result bit per element.
+        {
+            struct CmpKind
+            {
+                const char *stem;
+                const char *op;
+                bool swap;
+            };
+            const CmpKind kinds[] = {
+                {"cmpeq", "==", false}, {"cmpneq", "!=", false},
+                {"cmplt", "<", false},  {"cmple", "<=", false},
+                {"cmpgt", "<", true},   {"cmpge", "<=", true},
+            };
+            for (const auto &kind : kinds) {
+                for (int ew : all_ew) {
+                    for (int uns = 0; uns < 2; ++uns) {
+                        ElemOps e(ew);
+                        // The parser handles unsigned relations via the
+                        // U-suffixed comparison functions below.
+                        std::string lhs = kind.swap ? e.b : e.a;
+                        std::string rhs = kind.swap ? e.a : e.b;
+                        std::string cond;
+                        if (uns && kind.op[0] == '<') {
+                            cond = format("%s(%s, %s)",
+                                          kind.op[1] == '='
+                                              ? "CMPULE"
+                                              : "CMPULT",
+                                          lhs.c_str(), rhs.c_str());
+                        } else {
+                            cond = format("%s %s %s", lhs.c_str(), kind.op,
+                                          rhs.c_str());
+                        }
+                        const std::string name = format(
+                            "%s_%s_%s_mask", vec.prefix, kind.stem,
+                            (uns ? epu(ew) : epi(ew)).c_str());
+                        const int n = vec.vw / ew;
+                        std::string text = format(
+                            "DEFINE %s(%s) -> bit[%d] LAT 1\n", name.c_str(),
+                            vecArgs2(vec.vw).c_str(), n);
+                        text += format("FOR j := 0 to %d\n", n - 1);
+                        text += format("i := j*%d\n", ew);
+                        text += format("dst[j:j] := %s ? ALLONES(1) : "
+                                       "ZEROS(1)\n",
+                                       cond.c_str());
+                        text += "ENDFOR\nENDDEF\n";
+                        emit(spec, name, text);
+
+                        // Zero-masked compare: result bit is anded
+                        // with the incoming predicate mask.
+                        const std::string mname = format(
+                            "%s_mask_%s_%s_mask", vec.prefix, kind.stem,
+                            (uns ? epu(ew) : epi(ew)).c_str());
+                        std::string mtext = format(
+                            "DEFINE %s(k1: bit[%d], %s) -> bit[%d] LAT 1\n",
+                            mname.c_str(), n, vecArgs2(vec.vw).c_str(), n);
+                        mtext += format("FOR j := 0 to %d\n", n - 1);
+                        mtext += format("i := j*%d\n", ew);
+                        mtext += format(
+                            "dst[j:j] := k1[j] & (%s ? ALLONES(1) : "
+                            "ZEROS(1))\n",
+                            cond.c_str());
+                        mtext += "ENDFOR\nENDDEF\n";
+                        emit(spec, mname, mtext);
+                    }
+                }
+            }
+        }
+
+        // Whole-register logic (no per-element structure).
+        const char *si = vec.vw == 128 ? "si128"
+                         : vec.vw == 256 ? "si256"
+                                         : "si512";
+        struct LogicFam
+        {
+            const char *stem;
+            const char *expr;
+        };
+        const LogicFam logic[] = {
+            {"and", "a[%d:0] & b[%d:0]"},
+            {"or", "a[%d:0] | b[%d:0]"},
+            {"xor", "a[%d:0] ^ b[%d:0]"},
+            {"andnot", "~a[%d:0] & b[%d:0]"},
+        };
+        for (const auto &lf : logic) {
+            std::string text = format("DEFINE %s_%s_%s(%s) -> bit[%d] LAT 1\n",
+                                      vec.prefix, lf.stem, si,
+                                      vecArgs2(vec.vw).c_str(), vec.vw);
+            text += format("dst[%d:0] := ", vec.vw - 1);
+            text += format(lf.expr, vec.vw - 1, vec.vw - 1);
+            text += "\nENDDEF\n";
+            emit(spec, format("%s_%s_%s", vec.prefix, lf.stem, si), text);
+        }
+
+        // Sign-bit blend (SSE4-style) and mask blend (AVX-512-style).
+        for (int ew : all_ew) {
+            std::string body =
+                format("b[i+%d] ? %s : %s", ew - 1, sl("b", "i", ew).c_str(),
+                       sl("a", "i", ew).c_str());
+            emitSimd(spec,
+                     format("%s_blendv_%s", vec.prefix, epi(ew).c_str()),
+                     vec.vw, ew, vecArgs2(vec.vw), vec.vw, 1, body);
+            const int n = vec.vw / ew;
+            emitSimd(spec,
+                     format("%s_mask_blend_%s", vec.prefix, epi(ew).c_str()),
+                     vec.vw, ew,
+                     format("k: bit[%d], a: bit[%d], b: bit[%d]", n, vec.vw,
+                            vec.vw),
+                     vec.vw, 1,
+                     format("k[j] ? %s : %s", sl("b", "i", ew).c_str(),
+                            sl("a", "i", ew).c_str()));
+            // mask_mov: same semantics as mask_blend with swapped
+            // argument roles; the similarity engine's argument
+            // permutation pass must merge the two (paper §3.3).
+            emitSimd(spec,
+                     format("%s_mask_mov_%s", vec.prefix, epi(ew).c_str()),
+                     vec.vw, ew,
+                     format("src: bit[%d], k: bit[%d], a: bit[%d]", vec.vw, n,
+                            vec.vw),
+                     vec.vw, 1,
+                     format("k[j] ? %s : %s", sl("a", "i", ew).c_str(),
+                            sl("src", "i", ew).c_str()));
+        }
+
+        // Broadcast, with AVX-512 masked forms.
+        for (int ew : all_ew) {
+            const std::string body = format("a[%d:0]", ew - 1);
+            emitSimd(spec,
+                     format("%s_set1_%s", vec.prefix, epi(ew).c_str()),
+                     vec.vw, ew, format("a: bit[%d]", ew), vec.vw, 1, body);
+            const int n = vec.vw / ew;
+            emitSimd(spec,
+                     format("%s_mask_set1_%s", vec.prefix, epi(ew).c_str()),
+                     vec.vw, ew,
+                     format("src: bit[%d], k: bit[%d], a: bit[%d]", vec.vw, n,
+                            ew),
+                     vec.vw, 1, masked(body, ew));
+            emitSimd(spec,
+                     format("%s_maskz_set1_%s", vec.prefix, epi(ew).c_str()),
+                     vec.vw, ew,
+                     format("k: bit[%d], a: bit[%d]", n, ew), vec.vw, 1,
+                     maskedZ(body));
+        }
+
+        // Unpack (interleave) low/high within 128-bit lanes.
+        for (int ew : all_ew) {
+            const int lane_elems = 128 / ew;
+            const int half = lane_elems / 2;
+            const int lanes = vec.vw / 128;
+            for (int hi = 0; hi < 2; ++hi) {
+                const int offb = hi ? 64 : 0;
+                std::string text = format(
+                    "DEFINE %s_unpack%s_%s(%s) -> bit[%d] LAT 1\n",
+                    vec.prefix, hi ? "hi" : "lo", epi(ew).c_str(),
+                    vecArgs2(vec.vw).c_str(), vec.vw);
+                text += format("FOR l := 0 to %d\n", lanes - 1);
+                text += format("FOR m := 0 to %d\n", half - 1);
+                text += format("s := (l*%d + m)*%d\n", lane_elems, ew);
+                text += format("d := (l*%d + 2*m)*%d\n", lane_elems, ew);
+                if (offb == 0) {
+                    text += format("dst[d+%d:d] := a[s+%d:s]\n", ew - 1,
+                                   ew - 1);
+                    text += format("dst[d+%d:d+%d] := b[s+%d:s]\n",
+                                   2 * ew - 1, ew, ew - 1);
+                } else {
+                    text += format("dst[d+%d:d] := a[s+%d:s+%d]\n", ew - 1,
+                                   offb + ew - 1, offb);
+                    text += format("dst[d+%d:d+%d] := b[s+%d:s+%d]\n",
+                                   2 * ew - 1, ew, offb + ew - 1, offb);
+                }
+                text += "ENDFOR\nENDFOR\nENDDEF\n";
+                emit(spec,
+                     format("%s_unpack%s_%s", vec.prefix, hi ? "hi" : "lo",
+                            epi(ew).c_str()),
+                     text);
+            }
+        }
+
+        // Pack with saturation (signed / unsigned), full-width variant.
+        // Named by the *input* element width (packs_epi16: 16 -> 8).
+        for (int in_ew : mid_ew) {
+            const int ew = in_ew / 2;
+            const int half_elems = vec.vw / in_ew;
+            for (int uns = 0; uns < 2; ++uns) {
+                const char *stem = uns ? "packus" : "packs";
+                const char *sat = uns ? "SaturateU" : "Saturate";
+                std::string text = format(
+                    "DEFINE %s_%s_%s(%s) -> bit[%d] LAT 1\n", vec.prefix,
+                    stem, epi(in_ew).c_str(), vecArgs2(vec.vw).c_str(),
+                    vec.vw);
+                text += format("FOR j := 0 to %d\n", half_elems - 1);
+                text += format("dst[j*%d+%d:j*%d] := %s(a[j*%d+%d:j*%d], %d)\n",
+                               ew, ew - 1, ew, sat, in_ew, in_ew - 1, in_ew,
+                               ew);
+                text += "ENDFOR\n";
+                text += format("FOR j := 0 to %d\n", half_elems - 1);
+                text += format(
+                    "dst[%d+j*%d+%d:%d+j*%d] := %s(b[j*%d+%d:j*%d], %d)\n",
+                    vec.vw / 2, ew, ew - 1, vec.vw / 2, ew, sat, in_ew,
+                    in_ew - 1, in_ew, ew);
+                text += "ENDFOR\nENDDEF\n";
+                emit(spec,
+                     format("%s_%s_%s", vec.prefix, stem, epi(in_ew).c_str()),
+                     text);
+            }
+        }
+
+        // Subvector extract (low/high half) and half-concatenation.
+        if (vec.vw > 128) {
+            const int half = vec.vw / 2;
+            const int nbytes = half / 8;
+            for (int hi = 0; hi < 2; ++hi) {
+                const std::string name = format(
+                    "%s_extract_%s_si%d", vec.prefix, hi ? "hi" : "lo",
+                    half);
+                // The low half is a plain register cast (free); the
+                // high half needs a real extract instruction.
+                std::string text = format(
+                    "DEFINE %s(a: bit[%d]) -> bit[%d] LAT %d\n",
+                    name.c_str(), vec.vw, half, hi ? 1 : 0);
+                text += format("FOR j := 0 to %d\n", nbytes - 1);
+                if (hi)
+                    text += format("dst[j*8+7:j*8] := a[(j+%d)*8+7:(j+%d)*8]\n",
+                                   nbytes, nbytes);
+                else
+                    text += "dst[j*8+7:j*8] := a[j*8+7:j*8]\n";
+                text += "ENDFOR\nENDDEF\n";
+                emit(spec, name, text);
+            }
+            const std::string cname =
+                format("%s_concat_si%d", vec.prefix, half);
+            std::string text = format(
+                "DEFINE %s(hi: bit[%d], lo: bit[%d]) -> bit[%d] LAT 1\n",
+                cname.c_str(), half, half, vec.vw);
+            text += format("FOR j := 0 to %d\n", nbytes - 1);
+            text += "dst[j*8+7:j*8] := lo[j*8+7:j*8]\n";
+            text += "ENDFOR\n";
+            text += format("FOR j := 0 to %d\n", nbytes - 1);
+            text += format("dst[%d+j*8+7:%d+j*8] := hi[j*8+7:j*8]\n", half,
+                           half);
+            text += "ENDFOR\nENDDEF\n";
+            emit(spec, cname, text);
+        }
+
+        // Byte-align (concatenate and shift by immediate bytes).
+        {
+            const int n = vec.vw / 8;
+            std::string body = format(
+                "(j + imm) < %d ? b[(j+imm)*8+7:(j+imm)*8] : "
+                "a[(j+imm-%d)*8+7:(j+imm-%d)*8]",
+                n, n, n);
+            emitSimd(spec, format("%s_alignr_epi8", vec.prefix), vec.vw, 8,
+                     format("a: bit[%d], b: bit[%d], imm: imm", vec.vw,
+                            vec.vw),
+                     vec.vw, 1, body);
+        }
+
+        // Widening converts: input register is the packed narrow half.
+        struct CvtFam
+        {
+            int from, to;
+        };
+        const CvtFam cvts[] = {{8, 16}, {8, 32}, {8, 64},
+                               {16, 32}, {16, 64}, {32, 64}};
+        for (const auto &cvt : cvts) {
+            const int n = vec.vw / cvt.to;
+            const int in_w = n * cvt.from;
+            for (int uns = 0; uns < 2; ++uns) {
+                const char *ext = uns ? "ZeroExtend" : "SignExtend";
+                const std::string stem =
+                    format("cvt%s%d_%s", uns ? "epu" : "epi", cvt.from,
+                           epi(cvt.to).c_str());
+                const std::string elem =
+                    format("%s(a[j*%d+%d:j*%d], %d)", ext, cvt.from,
+                           cvt.from - 1, cvt.from, cvt.to);
+                auto emit_cvt = [&](const std::string &prefix_args,
+                                    const std::string &value,
+                                    const std::string &variant) {
+                    const std::string name = format(
+                        "%s_%s%s", vec.prefix, variant.c_str(), stem.c_str());
+                    std::string text = format(
+                        "DEFINE %s(%sa: bit[%d]) -> bit[%d] LAT 3\n",
+                        name.c_str(), prefix_args.c_str(), in_w, vec.vw);
+                    text += format("FOR j := 0 to %d\n", n - 1);
+                    text += format("i := j*%d\n", cvt.to);
+                    text += format("dst[i+%d:i] := %s\n", cvt.to - 1,
+                                   value.c_str());
+                    text += "ENDFOR\nENDDEF\n";
+                    emit(spec, name, text);
+                };
+                emit_cvt("", elem, "");
+                emit_cvt(format("src: bit[%d], k: bit[%d], ", vec.vw, n),
+                         masked(elem, cvt.to), "mask_");
+                emit_cvt(format("k: bit[%d], ", n), maskedZ(elem), "maskz_");
+            }
+        }
+
+        // Narrowing converts (AVX-512 style): plain, signed-sat and
+        // unsigned-sat, with masked variants of the plain form.
+        for (const auto &cvt : cvts) {
+            const int n = vec.vw / cvt.to;
+            const int out_w = n * cvt.from;
+            struct NarrowKind
+            {
+                const char *stem;
+                const char *fn;
+            };
+            const NarrowKind kinds[] = {{"cvt", "Truncate"},
+                                        {"cvts", "Saturate"},
+                                        {"cvtus", "SaturateU"}};
+            for (const auto &kind : kinds) {
+                const std::string elem =
+                    format("%s(a[j*%d+%d:j*%d], %d)", kind.fn, cvt.to,
+                           cvt.to - 1, cvt.to, cvt.from);
+                auto emit_narrow = [&](const std::string &prefix_args,
+                                       const std::string &value,
+                                       const std::string &variant) {
+                    const std::string name =
+                        format("%s_%s%sepi%d_epi%d", vec.prefix,
+                               variant.c_str(), kind.stem, cvt.to, cvt.from);
+                    std::string text = format(
+                        "DEFINE %s(%sa: bit[%d]) -> bit[%d] LAT 3\n",
+                        name.c_str(), prefix_args.c_str(), vec.vw, out_w);
+                    text += format("FOR j := 0 to %d\n", n - 1);
+                    text += format("i := j*%d\n", cvt.from);
+                    text += format("dst[i+%d:i] := %s\n", cvt.from - 1,
+                                   value.c_str());
+                    text += "ENDFOR\nENDDEF\n";
+                    emit(spec, name, text);
+                };
+                emit_narrow("", elem, "");
+                emit_narrow(format("src: bit[%d], k: bit[%d], ", out_w, n),
+                            masked(elem, cvt.from), "mask_");
+                emit_narrow(format("k: bit[%d], ", n), maskedZ(elem),
+                            "maskz_");
+            }
+        }
+
+        // madd: 16x16 -> 32 two-way dot product.
+        {
+            const int n = vec.vw / 32;
+            std::string text = format(
+                "DEFINE %s_madd_epi16(%s) -> bit[%d] LAT 5\n", vec.prefix,
+                vecArgs2(vec.vw).c_str(), vec.vw);
+            text += format("FOR j := 0 to %d\n", n - 1);
+            text += "i := j*32\n";
+            text += "dst[i+31:i] := SignExtend(a[i+15:i], 32) * "
+                    "SignExtend(b[i+15:i], 32) + SignExtend(a[i+31:i+16], 32) "
+                    "* SignExtend(b[i+31:i+16], 32)\n";
+            text += "ENDFOR\nENDDEF\n";
+            emit(spec, format("%s_madd_epi16", vec.prefix), text);
+        }
+
+        // maddubs: unsigned x signed bytes -> saturated 16-bit pairs.
+        {
+            const int n = vec.vw / 16;
+            std::string text = format(
+                "DEFINE %s_maddubs_epi16(%s) -> bit[%d] LAT 5\n", vec.prefix,
+                vecArgs2(vec.vw).c_str(), vec.vw);
+            text += format("FOR j := 0 to %d\n", n - 1);
+            text += "i := j*16\n";
+            text += "dst[i+15:i] := Saturate(ZeroExtend(a[i+7:i], 18) * "
+                    "SignExtend(b[i+7:i], 18) + ZeroExtend(a[i+15:i+8], 18) * "
+                    "SignExtend(b[i+15:i+8], 18), 16)\n";
+            text += "ENDFOR\nENDDEF\n";
+            emit(spec, format("%s_maddubs_epi16", vec.prefix), text);
+        }
+
+        // VNNI: dpwssd(s) 16-bit pairs and dpbusd(s) byte quads, with
+        // accumulator input.
+        {
+            const int n = vec.vw / 32;
+            std::string args = format("src: bit[%d], a: bit[%d], b: bit[%d]",
+                                      vec.vw, vec.vw, vec.vw);
+            std::string dot2 =
+                "SignExtend(a[i+15:i], 32) * SignExtend(b[i+15:i], 32) + "
+                "SignExtend(a[i+31:i+16], 32) * SignExtend(b[i+31:i+16], 32)";
+            std::string text = format(
+                "DEFINE %s_dpwssd_epi32(%s) -> bit[%d] LAT 5\n", vec.prefix,
+                args.c_str(), vec.vw);
+            text += format("FOR j := 0 to %d\ni := j*32\n", n - 1);
+            text += format("dst[i+31:i] := src[i+31:i] + (%s)\n",
+                           dot2.c_str());
+            text += "ENDFOR\nENDDEF\n";
+            emit(spec, format("%s_dpwssd_epi32", vec.prefix), text);
+
+            text = format("DEFINE %s_dpwssds_epi32(%s) -> bit[%d] LAT 5\n",
+                          vec.prefix, args.c_str(), vec.vw);
+            text += format("FOR j := 0 to %d\ni := j*32\n", n - 1);
+            text += format(
+                "dst[i+31:i] := Saturate(SignExtend(src[i+31:i], 33) + "
+                "SignExtend(%s, 33), 32)\n",
+                dot2.c_str());
+            text += "ENDFOR\nENDDEF\n";
+            emit(spec, format("%s_dpwssds_epi32", vec.prefix), text);
+
+            std::string dot4;
+            for (int k = 0; k < 4; ++k) {
+                if (k)
+                    dot4 += " + ";
+                dot4 += format(
+                    "ZeroExtend(a[i+%d:i+%d], 32) * SignExtend(b[i+%d:i+%d], "
+                    "32)",
+                    8 * k + 7, 8 * k, 8 * k + 7, 8 * k);
+            }
+            text = format("DEFINE %s_dpbusd_epi32(%s) -> bit[%d] LAT 5\n",
+                          vec.prefix, args.c_str(), vec.vw);
+            text += format("FOR j := 0 to %d\ni := j*32\n", n - 1);
+            text += format("dst[i+31:i] := src[i+31:i] + (%s)\n",
+                           dot4.c_str());
+            text += "ENDFOR\nENDDEF\n";
+            emit(spec, format("%s_dpbusd_epi32", vec.prefix), text);
+
+            text = format("DEFINE %s_dpbusds_epi32(%s) -> bit[%d] LAT 5\n",
+                          vec.prefix, args.c_str(), vec.vw);
+            text += format("FOR j := 0 to %d\ni := j*32\n", n - 1);
+            text += format(
+                "dst[i+31:i] := Saturate(SignExtend(src[i+31:i], 34) + "
+                "SignExtend(%s, 34), 32)\n",
+                dot4.c_str());
+            text += "ENDFOR\nENDDEF\n";
+            emit(spec, format("%s_dpbusds_epi32", vec.prefix), text);
+        }
+
+        // sad: sum of absolute byte differences per 64-bit group.
+        {
+            const int n = vec.vw / 64;
+            std::string sum;
+            for (int k = 0; k < 8; ++k) {
+                if (k)
+                    sum += " + ";
+                sum += format(
+                    "ZeroExtend(ABS(ZeroExtend(a[i+%d:i+%d], 9) - "
+                    "ZeroExtend(b[i+%d:i+%d], 9)), 64)",
+                    8 * k + 7, 8 * k, 8 * k + 7, 8 * k);
+            }
+            std::string text = format(
+                "DEFINE %s_sad_epu8(%s) -> bit[%d] LAT 3\n", vec.prefix,
+                vecArgs2(vec.vw).c_str(), vec.vw);
+            text += format("FOR j := 0 to %d\ni := j*64\n", n - 1);
+            text += format("dst[i+63:i] := %s\n", sum.c_str());
+            text += "ENDFOR\nENDDEF\n";
+            emit(spec, format("%s_sad_epu8", vec.prefix), text);
+        }
+
+        // Horizontal add/sub pairs: first half from a, second from b.
+        for (int ew : mid_ew) {
+            const int half_elems = vec.vw / (2 * ew);
+            struct HFam
+            {
+                const char *stem;
+                const char *op;
+            };
+            const HFam hfams[] = {{"hadd", "+"}, {"hsub", "-"}};
+            for (const auto &hf : hfams) {
+                std::string text = format(
+                    "DEFINE %s_%s_%s(%s) -> bit[%d] LAT 3\n", vec.prefix,
+                    hf.stem, epi(ew).c_str(), vecArgs2(vec.vw).c_str(),
+                    vec.vw);
+                for (int blk = 0; blk < 2; ++blk) {
+                    const char *reg = blk == 0 ? "a" : "b";
+                    const int base = blk * (vec.vw / 2);
+                    text += format("FOR j := 0 to %d\n", half_elems - 1);
+                    text += format(
+                        "dst[%d+j*%d+%d:%d+j*%d] := %s[j*%d+%d:j*%d] %s "
+                        "%s[j*%d+%d:j*%d+%d]\n",
+                        base, ew, ew - 1, base, ew, reg, 2 * ew, ew - 1,
+                        2 * ew, hf.op, reg, 2 * ew, 2 * ew - 1, 2 * ew, ew);
+                    text += "ENDFOR\n";
+                }
+                text += "ENDDEF\n";
+                emit(spec,
+                     format("%s_%s_%s", vec.prefix, hf.stem, epi(ew).c_str()),
+                     text);
+            }
+        }
+
+        // Saturating horizontal add/sub (epi16 only, SSSE3-style).
+        {
+            const int ew = 16;
+            const int half_elems = vec.vw / (2 * ew);
+            struct HsFam
+            {
+                const char *stem;
+                const char *op;
+            };
+            for (const auto &hf : {HsFam{"hadds", "+"}, HsFam{"hsubs", "-"}}) {
+                std::string text = format(
+                    "DEFINE %s_%s_epi16(%s) -> bit[%d] LAT 3\n", vec.prefix,
+                    hf.stem, vecArgs2(vec.vw).c_str(), vec.vw);
+                for (int blk = 0; blk < 2; ++blk) {
+                    const char *reg = blk == 0 ? "a" : "b";
+                    const int base = blk * (vec.vw / 2);
+                    text += format("FOR j := 0 to %d\n", half_elems - 1);
+                    text += format(
+                        "dst[%d+j*%d+%d:%d+j*%d] := "
+                        "Saturate(SignExtend(%s[j*%d+%d:j*%d], %d) %s "
+                        "SignExtend(%s[j*%d+%d:j*%d+%d], %d), %d)\n",
+                        base, ew, ew - 1, base, ew, reg, 2 * ew, ew - 1,
+                        2 * ew, ew + 1, hf.op, reg, 2 * ew, 2 * ew - 1,
+                        2 * ew, ew, ew + 1, ew);
+                    text += "ENDFOR\n";
+                }
+                text += "ENDDEF\n";
+                emit(spec, format("%s_%s_epi16", vec.prefix, hf.stem), text);
+            }
+        }
+    }
+
+    // Scalar ALU instructions (paper counts x86 scalar + vector).
+    {
+        const int widths[] = {8, 16, 32, 64};
+        struct ScalarFam
+        {
+            const char *stem;
+            const char *expr; // %d expands to width-1 (three times max).
+            int lat;
+            bool two_args;
+        };
+        const ScalarFam scalars[] = {
+            {"add", "a[%d:0] + b[%d:0]", 1, true},
+            {"sub", "a[%d:0] - b[%d:0]", 1, true},
+            {"and", "a[%d:0] & b[%d:0]", 1, true},
+            {"or", "a[%d:0] | b[%d:0]", 1, true},
+            {"xor", "a[%d:0] ^ b[%d:0]", 1, true},
+            {"mul", "a[%d:0] * b[%d:0]", 3, true},
+            {"neg", "-a[%d:0]", 1, false},
+            {"not", "~a[%d:0]", 1, false},
+            {"shl", "a[%d:0] << b[%d:0]", 1, true},
+            {"shr", "a[%d:0] >>> b[%d:0]", 1, true},
+            {"sar", "a[%d:0] >> b[%d:0]", 1, true},
+            {"abs", "ABS(a[%d:0])", 1, false},
+        };
+        for (const auto &sf : scalars) {
+            for (int w : widths) {
+                const std::string name = format("_x86_%s_r%d", sf.stem, w);
+                std::string text = format(
+                    "DEFINE %s(%s) -> bit[%d] LAT %d\n", name.c_str(),
+                    sf.two_args
+                        ? format("a: bit[%d], b: bit[%d]", w, w).c_str()
+                        : format("a: bit[%d]", w).c_str(),
+                    w, sf.lat);
+                text += format("dst[%d:0] := ", w - 1);
+                text += format(sf.expr, w - 1, w - 1, w - 1);
+                text += "\nENDDEF\n";
+                emit(spec, name, text);
+            }
+        }
+    }
+
+    return spec;
+}
+
+} // namespace hydride

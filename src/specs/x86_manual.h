@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Programmatic stand-in for the Intel Intrinsics Guide: generates the
+ * x86 (SSE2/AVX/AVX2/AVX-512-style) instruction set as vendor-style
+ * pseudocode text, which the x86 parser then consumes. The generated
+ * set covers scalar ALU operations and vector families over 128/256/
+ * 512-bit registers with 8/16/32/64-bit elements, including masked
+ * (AVX-512 `mask`/`maskz`) variants, swizzles (unpack/pack/align/
+ * rotate), converts, and the complex non-SIMD instructions the paper
+ * highlights (madd, maddubs, dpwssd(s), dpbusd(s), sad, hadd).
+ */
+#ifndef HYDRIDE_SPECS_X86_MANUAL_H
+#define HYDRIDE_SPECS_X86_MANUAL_H
+
+#include "specs/isa.h"
+
+namespace hydride {
+
+/** Generate the full x86 vendor specification document. */
+IsaSpec generateX86Manual();
+
+} // namespace hydride
+
+#endif // HYDRIDE_SPECS_X86_MANUAL_H

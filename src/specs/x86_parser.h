@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Parser for the x86 (Intel Intrinsics Guide-style) pseudocode
+ * dialect.
+ *
+ * Grammar sketch (statements):
+ *
+ *   DEFINE name(arg: bit[N] | arg: imm, ...) -> bit[N] LAT k
+ *     FOR v := e to e ... ENDFOR
+ *     v := int-expr                      // integer let
+ *     dst[hi:lo] := bv-expr              // slice assignment
+ *   ENDDEF
+ *
+ * Expressions: slices `a[hi:lo]` / single-bit `a[i]`, parenthesized
+ * sub-expression slices `(e)[hi:lo]`, ternary `c ? t : f`, `| ^ &`,
+ * comparisons, shifts `<< >> >>>`, `+ - *`, unary `- ~`, and the
+ * intrinsic functions SignExtend, ZeroExtend, Truncate, Saturate,
+ * SaturateU, MIN, MAX, MINU, MAXU, AVGU, AVGS, ABS, POPCNT.
+ * The parser performs concrete bitwidth inference bottom-up.
+ */
+#ifndef HYDRIDE_SPECS_X86_PARSER_H
+#define HYDRIDE_SPECS_X86_PARSER_H
+
+#include "hir/semantics.h"
+#include "specs/isa.h"
+
+namespace hydride {
+
+/** Parse one x86-dialect instruction definition. Fatal on malformed
+ *  input (vendor specs are trusted, errors are bugs in the spec). */
+SpecFunction parseX86Inst(const InstDef &inst);
+
+} // namespace hydride
+
+#endif // HYDRIDE_SPECS_X86_PARSER_H

@@ -1,0 +1,45 @@
+#include "support/error.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace hydride {
+
+void
+fatal(const std::string &message)
+{
+    std::cerr << "hydride: fatal: " << message << std::endl;
+    std::exit(1);
+}
+
+void
+panic(const std::string &message)
+{
+    std::cerr << "hydride: panic: " << message << std::endl;
+    std::abort();
+}
+
+void
+warn(const std::string &message)
+{
+    std::cerr << "hydride: warning: " << message << std::endl;
+}
+
+AssertionError::AssertionError(std::string message)
+    : message_(std::move(message))
+{
+}
+
+namespace detail {
+
+void
+assertFail(const char *cond, const char *file, int line,
+           const std::string &message)
+{
+    throw AssertionError(std::string("assertion `") + cond +
+                         "` failed at " + file + ":" + std::to_string(line) +
+                         ": " + message);
+}
+
+} // namespace detail
+} // namespace hydride

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting primitives for the Hydride library.
+ *
+ * Following the gem5 convention, `fatal` reports unrecoverable *user*
+ * errors (bad input specification, malformed pseudocode) and exits,
+ * while `panic` reports internal invariant violations (Hydride bugs)
+ * and aborts. `hyd_assert` is a checked-in-all-build-modes assertion
+ * that routes through `panic`.
+ */
+#ifndef HYDRIDE_SUPPORT_ERROR_H
+#define HYDRIDE_SUPPORT_ERROR_H
+
+#include <exception>
+#include <string>
+
+namespace hydride {
+
+/** Report an unrecoverable user-facing error and exit(1). */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const std::string &message);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &message);
+
+/**
+ * Thrown by HYD_ASSERT. Semantics evaluation is used speculatively
+ * (probing scaled instruction variants during synthesis), so failed
+ * invariants must be catchable rather than aborting the process.
+ */
+class AssertionError : public std::exception
+{
+  public:
+    explicit AssertionError(std::string message);
+    const char *what() const noexcept override { return message_.c_str(); }
+
+  private:
+    std::string message_;
+};
+
+namespace detail {
+[[noreturn]] void assertFail(const char *cond, const char *file, int line,
+                             const std::string &message);
+} // namespace detail
+
+} // namespace hydride
+
+/** Always-on assertion; throws AssertionError with location info. */
+#define HYD_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::hydride::detail::assertFail(#cond, __FILE__, __LINE__, msg);  \
+        }                                                                   \
+    } while (false)
+
+#endif // HYDRIDE_SUPPORT_ERROR_H

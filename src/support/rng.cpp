@@ -1,0 +1,60 @@
+#include "support/rng.h"
+
+#include "support/error.h"
+
+namespace hydride {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    for (auto &word : state_)
+        word = splitmix64(seed);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    HYD_ASSERT(bound != 0, "nextBelow bound must be nonzero");
+    // Rejection sampling to avoid modulo bias; bias is irrelevant for
+    // test vectors but rejection is cheap and keeps the API honest.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t value = next();
+        if (value >= threshold)
+            return value % bound;
+    }
+}
+
+} // namespace hydride

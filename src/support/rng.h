@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomized components of Hydride (equivalence-check input
+ * generation, CEGIS seed inputs, fuzzers) draw from this generator so
+ * that every run of the pipeline, the tests and the benchmarks is
+ * reproducible bit-for-bit.
+ */
+#ifndef HYDRIDE_SUPPORT_RNG_H
+#define HYDRIDE_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace hydride {
+
+/**
+ * A small, fast, deterministic RNG (xoshiro256**), seedable and
+ * copyable. Not cryptographic; used only for test-vector generation.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next uniformly distributed 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform boolean. */
+    bool nextBool() { return (next() & 1) != 0; }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_SUPPORT_RNG_H

@@ -1,0 +1,89 @@
+#include "support/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hydride {
+
+std::vector<std::string>
+split(std::string_view text, char sep)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == sep) {
+            fields.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return fields;
+}
+
+std::string
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out.append(sep);
+        out.append(parts[i]);
+    }
+    return out;
+}
+
+std::string
+replaceAll(std::string text, std::string_view from, std::string_view to)
+{
+    if (from.empty())
+        return text;
+    size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+        text.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return text;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(needed > 0 ? static_cast<size_t>(needed) : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+} // namespace hydride

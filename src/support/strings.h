@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small string utilities shared by the pseudocode parsers, printers
+ * and benchmark table writers.
+ */
+#ifndef HYDRIDE_SUPPORT_STRINGS_H
+#define HYDRIDE_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hydride {
+
+/** Split `text` on `sep`, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string trim(std::string_view text);
+
+/** True if `text` starts with `prefix`. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True if `text` ends with `suffix`. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/** Join `parts` with `sep` between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Replace every occurrence of `from` in `text` with `to`. */
+std::string replaceAll(std::string text, std::string_view from,
+                       std::string_view to);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hydride
+
+#endif // HYDRIDE_SUPPORT_STRINGS_H

@@ -1,0 +1,67 @@
+#include "support/table.h"
+
+#include "support/error.h"
+
+#include <algorithm>
+
+namespace hydride {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    HYD_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    HYD_ASSERT(cells.size() == headers_.size(),
+               "row arity does not match header arity");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace hydride

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to reproduce the
+ * paper's tables in a readable fixed-width layout, plus a CSV emitter
+ * for downstream plotting.
+ */
+#ifndef HYDRIDE_SUPPORT_TABLE_H
+#define HYDRIDE_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hydride {
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned
+ * ASCII table or as CSV.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render as an aligned ASCII table with a separator rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no escaping; cells must not contain commas). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows accumulated so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_SUPPORT_TABLE_H

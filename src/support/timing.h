@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the compile-time benchmarks (Table 4,
+ * Table 5) to time synthesis runs.
+ */
+#ifndef HYDRIDE_SUPPORT_TIMING_H
+#define HYDRIDE_SUPPORT_TIMING_H
+
+#include <chrono>
+
+namespace hydride {
+
+/** Simple monotonic stopwatch; starts on construction. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or last reset. */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_SUPPORT_TIMING_H

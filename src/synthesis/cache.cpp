@@ -1,0 +1,171 @@
+#include "synthesis/cache.h"
+
+#include "support/strings.h"
+
+#include <fstream>
+
+namespace hydride {
+
+const SynthesisResult *
+SynthesisCache::lookup(const HExprPtr &window, const std::string &isa)
+{
+    const Key key{HExpr::hashOf(window), isa};
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    ++it->second.hits;
+    return &it->second.result;
+}
+
+void
+SynthesisCache::insert(const HExprPtr &window, const std::string &isa,
+                       const SynthesisResult &result)
+{
+    const Key key{HExpr::hashOf(window), isa};
+    entries_[key].result = result;
+}
+
+namespace {
+
+/** Fingerprint tying a cache file to the dictionary that made it. */
+uint64_t
+dictFingerprint(const AutoLLVMDict &dict)
+{
+    uint64_t h = 0xD1C7 ^ static_cast<uint64_t>(dict.classCount());
+    for (int c = 0; c < dict.classCount(); ++c) {
+        h = h * 1099511628211ull ^ dict.cls(c).members.size();
+        h = h * 1099511628211ull ^
+            std::hash<std::string>{}(dict.cls(c).members[0].name);
+    }
+    return h;
+}
+
+} // namespace
+
+bool
+SynthesisCache::save(const std::string &path, const AutoLLVMDict &dict) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "hydride-synth-cache v1 " << dictFingerprint(dict) << "\n";
+    for (const auto &[key, entry] : entries_) {
+        const SynthesisResult &result = entry.result;
+        out << "entry " << key.first << " " << key.second << " "
+            << (result.ok ? 1 : 0) << " " << result.cost << " "
+            << result.scale << "\n";
+        if (!result.ok)
+            continue;
+        const AutoModule &module = result.module;
+        out << "inputs";
+        for (int w : module.input_widths)
+            out << " " << w;
+        out << "\nconsts " << module.constants.size() << "\n";
+        for (const auto &constant : module.constants)
+            out << constant.width() << " " << constant.toHex() << "\n";
+        out << "insts " << module.insts.size() << "\n";
+        for (const auto &inst : module.insts) {
+            out << inst.op.class_id << " " << inst.op.member_index << " "
+                << inst.args.size();
+            for (const auto &ref : inst.args)
+                out << " " << static_cast<int>(ref.kind) << " "
+                    << ref.index;
+            out << " " << inst.int_args.size();
+            for (int64_t imm : inst.int_args)
+                out << " " << imm;
+            out << "\n";
+        }
+        out << "result " << module.result << "\n";
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+SynthesisCache::load(const std::string &path, const AutoLLVMDict &dict)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string magic;
+    std::string version;
+    uint64_t fingerprint = 0;
+    in >> magic >> version >> fingerprint;
+    if (magic != "hydride-synth-cache" || version != "v1" ||
+        fingerprint != dictFingerprint(dict)) {
+        return false;
+    }
+    std::string tag;
+    while (in >> tag) {
+        if (tag != "entry")
+            return false;
+        Key key;
+        int ok = 0;
+        SynthesisResult result;
+        in >> key.first >> key.second >> ok >> result.cost >> result.scale;
+        result.ok = ok != 0;
+        if (result.ok) {
+            AutoModule &module = result.module;
+            in >> tag; // "inputs"
+            // Input widths run to end of line.
+            std::string line;
+            std::getline(in, line);
+            for (const auto &field : split(trim(line), ' '))
+                if (!field.empty())
+                    module.input_widths.push_back(std::stoi(field));
+            size_t n_consts = 0;
+            in >> tag >> n_consts; // "consts"
+            for (size_t c = 0; c < n_consts; ++c) {
+                int width = 0;
+                std::string hex;
+                in >> width >> hex;
+                BitVector value(width);
+                for (size_t digit = 0; digit < hex.size(); ++digit) {
+                    const char ch = hex[hex.size() - 1 - digit];
+                    const int nibble =
+                        ch <= '9' ? ch - '0' : ch - 'a' + 10;
+                    for (int bit = 0; bit < 4; ++bit) {
+                        const int pos = static_cast<int>(digit) * 4 + bit;
+                        if (pos < width && ((nibble >> bit) & 1))
+                            value.setBit(pos, true);
+                    }
+                }
+                module.constants.push_back(std::move(value));
+            }
+            size_t n_insts = 0;
+            in >> tag >> n_insts; // "insts"
+            for (size_t i = 0; i < n_insts; ++i) {
+                AutoInst inst;
+                size_t n_args = 0;
+                in >> inst.op.class_id >> inst.op.member_index >> n_args;
+                if (inst.op.class_id < 0 ||
+                    inst.op.class_id >= dict.classCount()) {
+                    return false;
+                }
+                for (size_t a = 0; a < n_args; ++a) {
+                    int kind = 0;
+                    int index = 0;
+                    in >> kind >> index;
+                    inst.args.push_back(
+                        {static_cast<ValueRef::Kind>(kind), index});
+                }
+                size_t n_imms = 0;
+                in >> n_imms;
+                for (size_t m = 0; m < n_imms; ++m) {
+                    int64_t imm = 0;
+                    in >> imm;
+                    inst.int_args.push_back(imm);
+                }
+                module.insts.push_back(std::move(inst));
+            }
+            in >> tag >> result.module.result; // "result"
+        }
+        if (in)
+            entries_[key].result = std::move(result);
+    }
+    return true;
+}
+
+} // namespace hydride

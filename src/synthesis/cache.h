@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The synthesis memoization cache (paper §4.1).
+ *
+ * Synthesis results are keyed by the *structure* of the input window
+ * (HExpr::hashOf covers operators, types and lane counts but not
+ * which benchmark the window came from) plus the target ISA, so
+ * results transfer across benchmarks that share subexpressions —
+ * the effect columns II-IV of Table 4 measure. Unlike the paper's
+ * Racket hash table (whose lookup overhead dominates warm compile
+ * times, Table 4's overhead rows), this is an in-memory C++ map with
+ * negligible lookup cost — the improvement the paper explicitly
+ * anticipates ("A fast language like C++ would greatly reduce cache
+ * lookup times").
+ */
+#ifndef HYDRIDE_SYNTHESIS_CACHE_H
+#define HYDRIDE_SYNTHESIS_CACHE_H
+
+#include <map>
+#include <string>
+
+#include "synthesis/cegis.h"
+
+namespace hydride {
+
+/** Memoizes per-(window shape, ISA) synthesis outcomes. */
+class SynthesisCache
+{
+  public:
+    struct CachedEntry
+    {
+        SynthesisResult result;
+        int hits = 0;
+    };
+
+    /** Look up a window; nullptr when absent. */
+    const SynthesisResult *lookup(const HExprPtr &window,
+                                  const std::string &isa);
+
+    /** Record a synthesis outcome. */
+    void insert(const HExprPtr &window, const std::string &isa,
+                const SynthesisResult &result);
+
+    void clear() { entries_.clear(); hits_ = misses_ = 0; }
+    int hits() const { return hits_; }
+    int misses() const { return misses_; }
+    size_t size() const { return entries_.size(); }
+
+    using Key = std::pair<uint64_t, std::string>;
+
+    /** Visit every cached entry (used to build filtered caches for
+     *  the Table 4 leave-one-out scenario). */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &[key, entry] : entries_)
+            fn(key, entry.result);
+    }
+
+    /** Insert under an explicit key (cache-transfer helper). */
+    void
+    insertByKey(const Key &key, const SynthesisResult &result)
+    {
+        entries_[key].result = result;
+    }
+
+    /**
+     * Persist the cache to a file so later compiler invocations reuse
+     * synthesis results (the paper's cross-invocation cache, minus
+     * the Racket lookup overhead its Table 4 laments). The file
+     * records a dictionary fingerprint; load() refuses caches built
+     * against a different dictionary.
+     */
+    bool save(const std::string &path,
+              const class AutoLLVMDict &dict) const;
+
+    /** Load a previously saved cache; false on mismatch/IO error. */
+    bool load(const std::string &path, const class AutoLLVMDict &dict);
+
+  private:
+    std::map<Key, CachedEntry> entries_;
+    int hits_ = 0;
+    int misses_ = 0;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_SYNTHESIS_CACHE_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The CEGIS core of Hydride's code synthesizer (paper §4.2,
+ * Algorithm 2).
+ *
+ * Given a Halide-IR window and a target ISA, the synthesizer:
+ *
+ *  1. scales the window's lane count down (parameterized AutoLLVM
+ *     operations scale with it — Count/RegWidth parameters divide by
+ *     the scale) to keep bitvectors small;
+ *  2. builds the pruned grammar (grammar.h);
+ *  3. runs counterexample-guided inductive synthesis: enumerate
+ *     candidate AutoLLVM programs in increasing depth, require
+ *     agreement with the specification on the accumulated
+ *     counterexample inputs — and, when lane-wise checking is on,
+ *     only on the accumulated failing lanes — then verify candidates
+ *     against the specification on fresh random vectors, feeding any
+ *     counterexample (and its first failing lane) back into the loop;
+ *  4. scales the winning program back up and re-verifies at full
+ *     width, falling back to an unscaled search if that fails
+ *     (Algorithm 2 line 26).
+ *
+ * The enumeration uses observational-equivalence deduplication: two
+ * candidate values with identical outputs on every counterexample
+ * collapse into the cheaper one. This plays the role of the SMT
+ * solver's search in Rosette (see DESIGN.md, substitution table).
+ */
+#ifndef HYDRIDE_SYNTHESIS_CEGIS_H
+#define HYDRIDE_SYNTHESIS_CEGIS_H
+
+#include <string>
+
+#include "autollvm/module.h"
+#include "synthesis/grammar.h"
+
+namespace hydride {
+
+/** Synthesis knobs; defaults match the paper's best configuration. */
+struct SynthesisOptions
+{
+    GrammarOptions grammar;
+    bool scaling = true;
+    bool lanewise = true;
+    int max_insts = 3;      ///< Maximum output sequence length.
+    int window_depth = 5;   ///< Max expression depth per window (§4.2).
+    int max_bank = 3000;    ///< Value-bank size cap.
+    int max_combos = 4000;  ///< Operand-combination cap per op/depth.
+    int verify_vectors = 10; ///< Random vectors per verification.
+    int cegis_rounds = 10;   ///< Counterexample iterations.
+    double timeout_seconds = 20.0;
+    uint64_t seed = 0xC0DE;
+};
+
+/** Outcome of synthesizing one window. */
+struct SynthesisResult
+{
+    bool ok = false;
+    AutoModule module;  ///< Full-scale program over window inputs.
+    int cost = 0;       ///< Latency sum of the module.
+    double seconds = 0.0;
+    int grammar_size = 0;
+    int cegis_iterations = 0;
+    int scale = 1;
+    std::string note;
+};
+
+/** Synthesize one window for one target ISA. */
+SynthesisResult synthesizeWindow(const AutoLLVMDict &dict,
+                                 const std::string &isa,
+                                 const HExprPtr &window,
+                                 const SynthesisOptions &options = {});
+
+/** Rebuild a window with every lane count divided by `scale`;
+ *  returns nullptr when the window cannot be scaled. */
+HExprPtr scaleWindow(const HExprPtr &window, int scale);
+
+} // namespace hydride
+
+#endif // HYDRIDE_SYNTHESIS_CEGIS_H

@@ -1,0 +1,112 @@
+#include "synthesis/compiler.h"
+
+#include "codegen/lowering.h"
+#include "support/error.h"
+#include "support/timing.h"
+
+namespace hydride {
+
+int
+KernelCompilation::staticCost() const
+{
+    int total = 0;
+    for (const auto &window : windows)
+        total += window.program.cost();
+    return total;
+}
+
+double
+KernelCompilation::runtimeCost(const Kernel &kernel_desc) const
+{
+    return staticCost() * kernel_desc.iterations;
+}
+
+HydrideCompiler::HydrideCompiler(const AutoLLVMDict &dict, std::string isa,
+                                 int vector_bits, SynthesisOptions options,
+                                 SynthesisCache *cache)
+    : dict_(dict), isa_(std::move(isa)), vector_bits_(vector_bits),
+      options_(options), cache_(cache ? cache : &own_cache_),
+      fallback_(dict, isa_, vector_bits)
+{
+}
+
+WindowCompilation
+HydrideCompiler::compileWindow(const HExprPtr &window)
+{
+    WindowCompilation out;
+    Stopwatch watch;
+
+    // Memoization cache first (paper §4.1).
+    if (const SynthesisResult *cached = cache_->lookup(window, isa_)) {
+        out.from_cache = true;
+        if (cached->ok) {
+            LoweringResult lowered =
+                lowerToTarget(cached->module, dict_, isa_);
+            HYD_ASSERT(lowered.ok,
+                       "cached synthesis result no longer lowers: " +
+                           lowered.error);
+            out.synthesized = true;
+            out.synth = *cached;
+            out.program = std::move(lowered.program);
+            out.synth_seconds = watch.seconds();
+            return out;
+        }
+        // Negative cache entry: skip synthesis, go straight to the
+        // fallback below.
+    } else {
+        SynthesisResult synth = synthesizeWindow(dict_, isa_, window,
+                                                 options_);
+        cache_->insert(window, isa_, synth);
+        if (synth.ok) {
+            LoweringResult lowered = lowerToTarget(synth.module, dict_,
+                                                   isa_);
+            if (lowered.ok) {
+                out.synthesized = true;
+                out.synth = std::move(synth);
+                out.program = std::move(lowered.program);
+                out.synth_seconds = watch.seconds();
+                return out;
+            }
+        }
+    }
+
+    // Fallback: macro expansion, like the baseline compiler.
+    ExpandResult expanded = fallback_.expand(window);
+    if (!expanded.ok) {
+        fatal("window failed both synthesis and macro expansion on " +
+              isa_ + ": " + expanded.error);
+    }
+    out.program = std::move(expanded.program);
+    out.synth_seconds = watch.seconds();
+    return out;
+}
+
+KernelCompilation
+HydrideCompiler::compile(const Kernel &kernel)
+{
+    KernelCompilation out;
+    out.kernel = kernel.name;
+    out.isa = isa_;
+    Stopwatch watch;
+    for (size_t w = 0; w < kernel.windows.size(); ++w) {
+        // Bound the expression depth per synthesis query (§4.2):
+        // deep stencil windows split into sub-windows whose cut
+        // points become fresh inputs.
+        const HExprPtr &window = kernel.windows[w];
+        std::vector<HExprPtr> pieces =
+            splitWindow(window, options_.window_depth,
+                        halideInputCount(window), vector_bits_);
+        for (const auto &piece : pieces) {
+            WindowCompilation compiled = compileWindow(piece);
+            out.cache_hits += compiled.from_cache ? 1 : 0;
+            out.synthesized_windows += compiled.synthesized ? 1 : 0;
+            out.windows.push_back(std::move(compiled));
+            out.pieces.push_back(piece);
+            out.piece_group.push_back(static_cast<int>(w));
+        }
+    }
+    out.compile_seconds = watch.seconds();
+    return out;
+}
+
+} // namespace hydride

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The end-to-end Hydride compiler: Halide kernel -> per-window
+ * synthesis (with memoization) -> AutoLLVM IR -> 1-1 lowering to
+ * target instructions, with macro expansion as the fallback for
+ * windows synthesis cannot handle within its budget (mirroring how
+ * the paper's system bounds window sizes to keep synthesis
+ * tractable; an unsynthesized window simply compiles like the
+ * baseline would).
+ */
+#ifndef HYDRIDE_SYNTHESIS_COMPILER_H
+#define HYDRIDE_SYNTHESIS_COMPILER_H
+
+#include <string>
+#include <vector>
+
+#include "codegen/macro_expand.h"
+#include "halide/kernels.h"
+#include "synthesis/cache.h"
+
+namespace hydride {
+
+/** Result of compiling one window. */
+struct WindowCompilation
+{
+    bool synthesized = false;
+    bool from_cache = false;
+    double synth_seconds = 0.0;
+    SynthesisResult synth; ///< Valid when synthesized.
+    TargetProgram program;
+};
+
+/** Result of compiling a whole kernel. */
+struct KernelCompilation
+{
+    std::string kernel;
+    std::string isa;
+    std::vector<WindowCompilation> windows;
+    /** Effective (split) windows, one per entry of `windows`. */
+    std::vector<HExprPtr> pieces;
+    /** Original-window group of each piece; pieces of one group feed
+     *  later pieces through their cut-point input ids. */
+    std::vector<int> piece_group;
+    double compile_seconds = 0.0;
+    int cache_hits = 0;
+    int synthesized_windows = 0;
+
+    /** Static per-iteration cost (latency sum across windows). */
+    int staticCost() const;
+
+    /** Simulated runtime: per-iteration cost x dynamic iterations. */
+    double runtimeCost(const Kernel &kernel_desc) const;
+};
+
+/** Hydride's synthesis-based compiler for one target. */
+class HydrideCompiler
+{
+  public:
+    HydrideCompiler(const AutoLLVMDict &dict, std::string isa,
+                    int vector_bits, SynthesisOptions options = {},
+                    SynthesisCache *cache = nullptr);
+
+    /** Compile one window (consulting and filling the cache). */
+    WindowCompilation compileWindow(const HExprPtr &window);
+
+    /** Compile a whole kernel. */
+    KernelCompilation compile(const Kernel &kernel);
+
+    const AutoLLVMDict &dict() const { return dict_; }
+
+  private:
+    const AutoLLVMDict &dict_;
+    std::string isa_;
+    int vector_bits_;
+    SynthesisOptions options_;
+    SynthesisCache *cache_;
+    SynthesisCache own_cache_;
+    MacroExpander fallback_;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_SYNTHESIS_COMPILER_H

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit and property tests for the BitVector value type.
+ *
+ * The property sweeps run each algebraic law across a range of widths
+ * (including widths straddling the 64-bit word boundary) on random
+ * operands, validating against native 64-bit arithmetic where a
+ * reference exists.
+ */
+#include <gtest/gtest.h>
+
+#include "hir/bitvector.h"
+#include "support/rng.h"
+
+namespace hydride {
+namespace {
+
+TEST(BitVector, ConstructionAndBits)
+{
+    BitVector bv(8);
+    EXPECT_EQ(bv.width(), 8);
+    EXPECT_TRUE(bv.isZero());
+    bv.setBit(3, true);
+    EXPECT_TRUE(bv.getBit(3));
+    EXPECT_FALSE(bv.getBit(2));
+    EXPECT_EQ(bv.toUint64(), 8u);
+}
+
+TEST(BitVector, FromUintMasksToWidth)
+{
+    BitVector bv = BitVector::fromUint(4, 0xFF);
+    EXPECT_EQ(bv.toUint64(), 0xFu);
+}
+
+TEST(BitVector, FromIntSignExtends)
+{
+    BitVector bv = BitVector::fromInt(100, -1);
+    EXPECT_EQ(bv, BitVector::allOnes(100));
+    EXPECT_EQ(BitVector::fromInt(16, -2).toInt64(), -2);
+}
+
+TEST(BitVector, ToInt64Boundaries)
+{
+    EXPECT_EQ(BitVector::fromUint(8, 0x80).toInt64(), -128);
+    EXPECT_EQ(BitVector::fromUint(8, 0x7F).toInt64(), 127);
+    EXPECT_EQ(BitVector::fromUint(1, 1).toInt64(), -1);
+}
+
+TEST(BitVector, HexRendering)
+{
+    EXPECT_EQ(BitVector::fromUint(16, 0xBEEF).toHex(), "beef");
+    EXPECT_EQ(BitVector::fromUint(12, 0xABC).toHex(), "abc");
+    EXPECT_EQ(BitVector(8).toHex(), "00");
+}
+
+TEST(BitVector, ExtractAcrossWordBoundary)
+{
+    Rng rng(42);
+    BitVector wide = BitVector::random(192, rng);
+    BitVector slice = wide.extract(60, 16);
+    for (int b = 0; b < 16; ++b)
+        EXPECT_EQ(slice.getBit(b), wide.getBit(60 + b));
+}
+
+TEST(BitVector, SetSliceRoundTrip)
+{
+    Rng rng(43);
+    BitVector whole(256);
+    BitVector part = BitVector::random(48, rng);
+    whole.setSlice(100, part);
+    EXPECT_EQ(whole.extract(100, 48), part);
+    EXPECT_TRUE(whole.extract(0, 100).isZero());
+    EXPECT_TRUE(whole.extract(148, 108).isZero());
+}
+
+TEST(BitVector, ConcatOrdering)
+{
+    BitVector high = BitVector::fromUint(8, 0xAB);
+    BitVector low = BitVector::fromUint(8, 0xCD);
+    BitVector joined = BitVector::concat(high, low);
+    EXPECT_EQ(joined.width(), 16);
+    EXPECT_EQ(joined.toUint64(), 0xABCDu);
+}
+
+TEST(BitVector, ZextSextTrunc)
+{
+    BitVector bv = BitVector::fromUint(8, 0x80);
+    EXPECT_EQ(bv.zext(16).toUint64(), 0x80u);
+    EXPECT_EQ(bv.sext(16).toUint64(), 0xFF80u);
+    EXPECT_EQ(bv.sext(16).trunc(8), bv);
+    // Sign extension across word boundaries.
+    EXPECT_EQ(BitVector::fromInt(8, -3).sext(200).trunc(64).toInt64(), -3);
+    EXPECT_EQ(BitVector::fromInt(8, -3).sext(200).extract(190, 10),
+              BitVector::allOnes(10));
+}
+
+TEST(BitVector, ShiftBasics)
+{
+    BitVector bv = BitVector::fromUint(8, 0x81);
+    EXPECT_EQ(bv.shl(1).toUint64(), 0x02u);
+    EXPECT_EQ(bv.lshr(1).toUint64(), 0x40u);
+    EXPECT_EQ(bv.ashr(1).toUint64(), 0xC0u);
+    EXPECT_TRUE(bv.shl(8).isZero());
+    EXPECT_TRUE(bv.lshr(100).isZero());
+    EXPECT_EQ(bv.ashr(100), BitVector::allOnes(8));
+}
+
+TEST(BitVector, Rotations)
+{
+    BitVector bv = BitVector::fromUint(8, 0b00000011);
+    EXPECT_EQ(bv.rotr(1).toUint64(), 0b10000001u);
+    EXPECT_EQ(bv.rotl(1).toUint64(), 0b00000110u);
+    EXPECT_EQ(bv.rotr(8), bv);
+    EXPECT_EQ(bv.rotl(9), bv.rotl(1));
+}
+
+TEST(BitVector, SaturatingAddSigned)
+{
+    BitVector max8 = BitVector::fromUint(8, 0x7F);
+    BitVector one = BitVector::fromUint(8, 1);
+    EXPECT_EQ(max8.addSatS(one).toInt64(), 127);
+    BitVector min8 = BitVector::fromUint(8, 0x80);
+    EXPECT_EQ(min8.addSatS(BitVector::fromInt(8, -1)).toInt64(), -128);
+    EXPECT_EQ(BitVector::fromInt(8, 5).addSatS(BitVector::fromInt(8, -3))
+                  .toInt64(),
+              2);
+}
+
+TEST(BitVector, SaturatingAddUnsigned)
+{
+    BitVector big = BitVector::fromUint(8, 0xF0);
+    BitVector small = BitVector::fromUint(8, 0x20);
+    EXPECT_EQ(big.addSatU(small).toUint64(), 0xFFu);
+    EXPECT_EQ(small.addSatU(small).toUint64(), 0x40u);
+}
+
+TEST(BitVector, SaturatingSub)
+{
+    BitVector a = BitVector::fromUint(8, 0x10);
+    BitVector b = BitVector::fromUint(8, 0x20);
+    EXPECT_TRUE(a.subSatU(b).isZero());
+    EXPECT_EQ(b.subSatU(a).toUint64(), 0x10u);
+    EXPECT_EQ(BitVector::fromInt(8, -100).subSatS(BitVector::fromInt(8, 100))
+                  .toInt64(),
+              -128);
+}
+
+TEST(BitVector, SatNarrow)
+{
+    EXPECT_EQ(BitVector::fromInt(16, 300).satNarrowS(8).toInt64(), 127);
+    EXPECT_EQ(BitVector::fromInt(16, -300).satNarrowS(8).toInt64(), -128);
+    EXPECT_EQ(BitVector::fromInt(16, 42).satNarrowS(8).toInt64(), 42);
+    EXPECT_EQ(BitVector::fromInt(16, 300).satNarrowU(8).toUint64(), 255u);
+    EXPECT_EQ(BitVector::fromInt(16, -5).satNarrowU(8).toUint64(), 0u);
+    EXPECT_EQ(BitVector::fromInt(16, 99).satNarrowU(8).toUint64(), 99u);
+}
+
+TEST(BitVector, DivisionEdgeCases)
+{
+    BitVector seven = BitVector::fromUint(8, 7);
+    BitVector zero(8);
+    EXPECT_EQ(seven.udiv(zero), BitVector::allOnes(8));
+    EXPECT_EQ(seven.urem(zero), seven);
+    EXPECT_EQ(BitVector::fromInt(8, -7).sdiv(BitVector::fromInt(8, 2))
+                  .toInt64(),
+              -3);
+    EXPECT_EQ(BitVector::fromInt(8, -7).srem(BitVector::fromInt(8, 2))
+                  .toInt64(),
+              -1);
+}
+
+TEST(BitVector, MinMax)
+{
+    BitVector a = BitVector::fromInt(8, -5);
+    BitVector b = BitVector::fromInt(8, 3);
+    EXPECT_EQ(a.minS(b).toInt64(), -5);
+    EXPECT_EQ(a.maxS(b).toInt64(), 3);
+    // Unsigned: -5 == 0xFB is larger than 3.
+    EXPECT_EQ(a.minU(b).toInt64(), 3);
+    EXPECT_EQ(a.maxU(b), a);
+}
+
+TEST(BitVector, AbsAndAverage)
+{
+    EXPECT_EQ(BitVector::fromInt(8, -5).absS().toInt64(), 5);
+    EXPECT_EQ(BitVector::fromInt(8, 5).absS().toInt64(), 5);
+    // abs(INT_MIN) wraps.
+    EXPECT_EQ(BitVector::fromInt(8, -128).absS().toInt64(), -128);
+    EXPECT_EQ(BitVector::fromUint(8, 3).avgU(BitVector::fromUint(8, 4))
+                  .toUint64(),
+              4u);
+    EXPECT_EQ(BitVector::fromUint(8, 250).avgU(BitVector::fromUint(8, 250))
+                  .toUint64(),
+              250u);
+    EXPECT_EQ(BitVector::fromInt(8, -3).avgS(BitVector::fromInt(8, -4))
+                  .toInt64(),
+              -3);
+}
+
+TEST(BitVector, Popcount)
+{
+    EXPECT_EQ(BitVector::fromUint(16, 0xF0F0).popcount().toUint64(), 8u);
+    EXPECT_TRUE(BitVector(128).popcount().isZero());
+    EXPECT_EQ(BitVector::allOnes(130).popcount().toUint64(), 130u);
+}
+
+TEST(BitVector, ComparisonsSignedUnsigned)
+{
+    BitVector neg = BitVector::fromInt(8, -1);
+    BitVector one = BitVector::fromUint(8, 1);
+    EXPECT_TRUE(neg.slt(one));
+    EXPECT_FALSE(neg.ult(one));
+    EXPECT_TRUE(one.ult(neg));
+    EXPECT_TRUE(one.ule(one));
+    EXPECT_TRUE(one.sle(one));
+}
+
+TEST(BitVector, HashDiffersByWidthAndValue)
+{
+    EXPECT_NE(BitVector(8).hash(), BitVector(9).hash());
+    EXPECT_NE(BitVector::fromUint(8, 1).hash(), BitVector::fromUint(8, 2).hash());
+}
+
+// ---- Property sweeps over widths ------------------------------------------
+
+class BitVectorWidths : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitVectorWidths, AddMatchesUint64Reference)
+{
+    const int width = GetParam();
+    if (width > 64)
+        GTEST_SKIP() << "reference is 64-bit";
+    Rng rng(1000 + width);
+    const uint64_t mask = width == 64 ? ~0ull : ((1ull << width) - 1);
+    for (int trial = 0; trial < 30; ++trial) {
+        uint64_t a = rng.next() & mask;
+        uint64_t b = rng.next() & mask;
+        BitVector bva = BitVector::fromUint(width, a);
+        BitVector bvb = BitVector::fromUint(width, b);
+        EXPECT_EQ(bva.add(bvb).toUint64(), (a + b) & mask);
+        EXPECT_EQ(bva.sub(bvb).toUint64(), (a - b) & mask);
+        EXPECT_EQ(bva.mul(bvb).toUint64(), (a * b) & mask);
+        if (b != 0) {
+            EXPECT_EQ(bva.udiv(bvb).toUint64(), a / b);
+            EXPECT_EQ(bva.urem(bvb).toUint64(), a % b);
+        }
+    }
+}
+
+TEST_P(BitVectorWidths, AdditiveGroupLaws)
+{
+    const int width = GetParam();
+    Rng rng(2000 + width);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitVector a = BitVector::random(width, rng);
+        BitVector b = BitVector::random(width, rng);
+        BitVector c = BitVector::random(width, rng);
+        EXPECT_EQ(a.add(b), b.add(a));
+        EXPECT_EQ(a.add(b).add(c), a.add(b.add(c)));
+        EXPECT_EQ(a.add(a.neg()), BitVector(width));
+        EXPECT_EQ(a.sub(b), a.add(b.neg()));
+    }
+}
+
+TEST_P(BitVectorWidths, BitwiseLaws)
+{
+    const int width = GetParam();
+    Rng rng(3000 + width);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitVector a = BitVector::random(width, rng);
+        BitVector b = BitVector::random(width, rng);
+        EXPECT_EQ(a.bvand(b).bvor(a.bvand(b.bvnot())), a);
+        EXPECT_EQ(a.bvxor(a), BitVector(width));
+        EXPECT_EQ(a.bvnot().bvnot(), a);
+        EXPECT_EQ(a.bvor(b).bvnot(), a.bvnot().bvand(b.bvnot()));
+    }
+}
+
+TEST_P(BitVectorWidths, ShiftComposition)
+{
+    const int width = GetParam();
+    Rng rng(4000 + width);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitVector a = BitVector::random(width, rng);
+        const int s1 = static_cast<int>(rng.nextBelow(width));
+        const int s2 = static_cast<int>(rng.nextBelow(width));
+        EXPECT_EQ(a.shl(s1).shl(s2), a.shl(s1 + s2));
+        EXPECT_EQ(a.lshr(s1).lshr(s2), a.lshr(s1 + s2));
+        EXPECT_EQ(a.rotr(s1).rotl(s1), a);
+    }
+}
+
+TEST_P(BitVectorWidths, ExtractConcatInverse)
+{
+    const int width = GetParam();
+    if (width < 2)
+        GTEST_SKIP();
+    Rng rng(5000 + width);
+    for (int trial = 0; trial < 10; ++trial) {
+        BitVector a = BitVector::random(width, rng);
+        const int cut = 1 + static_cast<int>(rng.nextBelow(width - 1));
+        BitVector low = a.extract(0, cut);
+        BitVector high = a.extract(cut, width - cut);
+        EXPECT_EQ(BitVector::concat(high, low), a);
+    }
+}
+
+TEST_P(BitVectorWidths, SaturationIsClamping)
+{
+    const int width = GetParam();
+    if (width > 60)
+        GTEST_SKIP() << "reference uses int64 arithmetic";
+    Rng rng(6000 + width);
+    const int64_t smax = (1ll << (width - 1)) - 1;
+    const int64_t smin = -(1ll << (width - 1));
+    for (int trial = 0; trial < 30; ++trial) {
+        BitVector a = BitVector::random(width, rng);
+        BitVector b = BitVector::random(width, rng);
+        const int64_t sum = a.toInt64() + b.toInt64();
+        EXPECT_EQ(a.addSatS(b).toInt64(),
+                  std::min(smax, std::max(smin, sum)));
+        const int64_t diff = a.toInt64() - b.toInt64();
+        EXPECT_EQ(a.subSatS(b).toInt64(),
+                  std::min(smax, std::max(smin, diff)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVectorWidths,
+                         ::testing::Values(1, 7, 8, 16, 31, 32, 33, 64, 65,
+                                           127, 128, 200, 512, 2048));
+
+} // namespace
+} // namespace hydride

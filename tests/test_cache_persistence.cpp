@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for synthesis-cache persistence: results survive a
+ * save/load round trip, loaded modules still evaluate and lower
+ * correctly, and stale caches (wrong dictionary) are rejected.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "codegen/lowering.h"
+#include "specs/spec_db.h"
+#include "support/rng.h"
+#include "synthesis/compiler.h"
+
+namespace hydride {
+namespace {
+
+const AutoLLVMDict &
+dict()
+{
+    static const AutoLLVMDict d = AutoLLVMDict::build({"x86", "hvx", "arm"});
+    return d;
+}
+
+class CachePersistence : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        std::remove(path_);
+    }
+    const char *path_ = "hydride_cache_test.tmp";
+};
+
+TEST_F(CachePersistence, RoundTripPreservesModules)
+{
+    SynthesisCache cache;
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel kernel = buildKernel("matmul_b1", schedule);
+    SynthesisResult result =
+        synthesizeWindow(dict(), "x86", kernel.windows[0]);
+    ASSERT_TRUE(result.ok);
+    cache.insert(kernel.windows[0], "x86", result);
+    ASSERT_TRUE(cache.save(path_, dict()));
+
+    SynthesisCache loaded;
+    ASSERT_TRUE(loaded.load(path_, dict()));
+    EXPECT_EQ(loaded.size(), cache.size());
+    const SynthesisResult *restored =
+        loaded.lookup(kernel.windows[0], "x86");
+    ASSERT_NE(restored, nullptr);
+    ASSERT_TRUE(restored->ok);
+    EXPECT_EQ(restored->cost, result.cost);
+
+    // The restored module must still compute and lower.
+    Rng rng(101);
+    std::vector<BitVector> inputs;
+    for (int w : restored->module.input_widths)
+        inputs.push_back(BitVector::random(w, rng));
+    EXPECT_EQ(restored->module.evaluate(dict(), inputs),
+              evalHalide(kernel.windows[0], inputs));
+    EXPECT_TRUE(lowerToTarget(restored->module, dict(), "x86").ok);
+}
+
+TEST_F(CachePersistence, NegativeEntriesPersistToo)
+{
+    SynthesisCache cache;
+    Schedule schedule;
+    schedule.vector_bits = 128;
+    Kernel kernel = buildKernel("matmul_b1", schedule);
+    SynthesisOptions options;
+    options.timeout_seconds = 1.0;
+    SynthesisResult result =
+        synthesizeWindow(dict(), "arm", kernel.windows[0], options);
+    ASSERT_FALSE(result.ok); // ARM has no 2-way i16 dot product.
+    cache.insert(kernel.windows[0], "arm", result);
+    ASSERT_TRUE(cache.save(path_, dict()));
+
+    SynthesisCache loaded;
+    ASSERT_TRUE(loaded.load(path_, dict()));
+    const SynthesisResult *restored =
+        loaded.lookup(kernel.windows[0], "arm");
+    ASSERT_NE(restored, nullptr);
+    EXPECT_FALSE(restored->ok);
+}
+
+TEST_F(CachePersistence, RejectsForeignDictionaries)
+{
+    SynthesisCache cache;
+    ASSERT_TRUE(cache.save(path_, dict()));
+    // A dictionary built from a subset fingerprints differently.
+    AutoLLVMDict other = AutoLLVMDict::build({"hvx"});
+    SynthesisCache loaded;
+    EXPECT_FALSE(loaded.load(path_, other));
+    EXPECT_TRUE(loaded.load(path_, dict()));
+}
+
+TEST_F(CachePersistence, MissingFileFailsGracefully)
+{
+    SynthesisCache cache;
+    EXPECT_FALSE(cache.load("definitely/not/here.cache", dict()));
+}
+
+TEST_F(CachePersistence, WarmCompilerFromDisk)
+{
+    // Simulate two compiler invocations: the first saves its cache,
+    // the second loads it and compiles without any new synthesis.
+    Schedule schedule;
+    schedule.vector_bits = 1024;
+    Kernel kernel = buildKernel("conv_nn", schedule);
+    {
+        SynthesisCache cache;
+        HydrideCompiler compiler(dict(), "hvx", 1024, {}, &cache);
+        compiler.compile(kernel);
+        ASSERT_TRUE(cache.save(path_, dict()));
+    }
+    SynthesisCache warm;
+    ASSERT_TRUE(warm.load(path_, dict()));
+    HydrideCompiler compiler(dict(), "hvx", 1024, {}, &warm);
+    KernelCompilation compiled = compiler.compile(kernel);
+    EXPECT_EQ(warm.misses(), 0);
+    EXPECT_EQ(compiled.cache_hits,
+              static_cast<int>(compiled.windows.size()));
+}
+
+} // namespace
+} // namespace hydride

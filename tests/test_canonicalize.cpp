@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for canonicalization: structural loop mapping, let inlining,
+ * loop rerolling of unrolled specs, artificial inner-loop insertion,
+ * and the affine anti-unifier.
+ */
+#include <gtest/gtest.h>
+
+#include "hir/canonicalize.h"
+#include "hir/printer.h"
+#include "support/rng.h"
+
+namespace hydride {
+namespace {
+
+/** Differentially check canonical semantics vs. statement form. */
+void
+expectAgrees(const SpecFunction &spec, const CanonicalSemantics &sem,
+             int trials = 8)
+{
+    Rng rng(0xABCDEF);
+    for (int trial = 0; trial < trials; ++trial) {
+        std::vector<BitVector> args;
+        for (const auto &arg : spec.bv_args) {
+            EvalEnv env;
+            args.push_back(BitVector::random(
+                static_cast<int>(evalInt(arg.width, env)), rng));
+        }
+        EXPECT_EQ(spec.evaluate(args), sem.evaluate(args, {}))
+            << "mismatch for " << spec.name;
+    }
+}
+
+SpecFunction
+simdAddSpec(int total, int ew)
+{
+    SpecFunction spec;
+    spec.name = "add_spec";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(total)}, {"b", intConst(total)}};
+    spec.out_width = total;
+    ExprPtr iv = namedVar("i");
+    StmtPtr let = stmtLetInt("i", mulI(namedVar("j"), intConst(ew)));
+    StmtPtr assign = stmtSliceAssign(
+        iv, intConst(ew),
+        bvBin(BVBinOp::Add, extract(argBV(0), iv, intConst(ew)),
+              extract(argBV(1), iv, intConst(ew))));
+    spec.body = {
+        stmtFor("j", intConst(0), intConst(total / ew - 1), {let, assign})};
+    return spec;
+}
+
+TEST(Canonicalize, SimdAddGetsArtificialInnerLoop)
+{
+    SpecFunction spec = simdAddSpec(128, 16);
+    CanonicalizeResult result = canonicalize(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.strategy, "structural");
+    EXPECT_EQ(result.sem.mode, TemplateMode::Uniform);
+    ASSERT_EQ(result.sem.templates.size(), 1u);
+    EXPECT_EQ(result.sem.inner_count->value, 1);
+    EXPECT_EQ(result.sem.outer_count->value, 8);
+    EXPECT_EQ(result.sem.elem_width->value, 16);
+    expectAgrees(spec, result.sem);
+}
+
+TEST(Canonicalize, TwoLevelLoopNestMapsDirectly)
+{
+    // for l in 0..1 { for k in 0..3 { dst[(l*4+k)*8 +: 8] :=
+    //   a[(l*4+k)*8 +: 8] avg b[...] } }
+    SpecFunction spec;
+    spec.name = "avg2d";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(64)}, {"b", intConst(64)}};
+    spec.out_width = 64;
+    ExprPtr low = mulI(addI(mulI(namedVar("l"), intConst(4)), namedVar("k")),
+                       intConst(8));
+    StmtPtr assign = stmtSliceAssign(
+        low, intConst(8),
+        bvBin(BVBinOp::AvgU, extract(argBV(0), low, intConst(8)),
+              extract(argBV(1), low, intConst(8))));
+    StmtPtr inner = stmtFor("k", intConst(0), intConst(3), {assign});
+    spec.body = {stmtFor("l", intConst(0), intConst(1), {inner})};
+
+    CanonicalizeResult result = canonicalize(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.strategy, "structural");
+    EXPECT_EQ(result.sem.mode, TemplateMode::Uniform);
+    // The perfect nest is flattened into one loop over all 8 elements.
+    EXPECT_EQ(result.sem.outer_count->value, 8);
+    EXPECT_EQ(result.sem.inner_count->value, 1);
+    expectAgrees(spec, result.sem);
+}
+
+TEST(Canonicalize, PerLaneInterleaveFlattensAndStaysByInner)
+{
+    // AVX2-style unpacklo_epi16: interleave within each 128-bit lane.
+    // for l in 0..1 { for j in 0..3 {
+    //   dst[(l*8+2j)*16 +: 16]   := a[(l*8+j)*16 +: 16]
+    //   dst[(l*8+2j+1)*16 +: 16] := b[(l*8+j)*16 +: 16] } }
+    SpecFunction spec;
+    spec.name = "unpacklo_lanes";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(256)}, {"b", intConst(256)}};
+    spec.out_width = 256;
+    ExprPtr src = mulI(addI(mulI(namedVar("l"), intConst(8)), namedVar("j")),
+                       intConst(16));
+    ExprPtr dst_even = mulI(
+        addI(mulI(namedVar("l"), intConst(8)), mulI(namedVar("j"), intConst(2))),
+        intConst(16));
+    StmtPtr even = stmtSliceAssign(dst_even, intConst(16),
+                                   extract(argBV(0), src, intConst(16)));
+    StmtPtr odd = stmtSliceAssign(addI(dst_even, intConst(16)), intConst(16),
+                                  extract(argBV(1), src, intConst(16)));
+    StmtPtr inner = stmtFor("j", intConst(0), intConst(3), {even, odd});
+    spec.body = {stmtFor("l", intConst(0), intConst(1), {inner})};
+
+    CanonicalizeResult result = canonicalize(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.strategy, "structural");
+    EXPECT_EQ(result.sem.mode, TemplateMode::ByInner);
+    EXPECT_EQ(result.sem.templates.size(), 2u);
+    EXPECT_EQ(result.sem.outer_count->value, 8);
+    expectAgrees(spec, result.sem);
+}
+
+TEST(Canonicalize, ImmediateArgumentsSurviveCanonicalization)
+{
+    // Shift-left by immediate: for j { dst[j*16 +: 16] := a[...] << imm }
+    SpecFunction spec;
+    spec.name = "slli";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(64)}};
+    spec.int_args = {"imm"};
+    spec.out_width = 64;
+    ExprPtr low = mulI(namedVar("j"), intConst(16));
+    StmtPtr assign = stmtSliceAssign(
+        low, intConst(16),
+        bvBin(BVBinOp::Shl, extract(argBV(0), low, intConst(16)),
+              bvConst(intConst(16), namedVar("imm"))));
+    spec.body = {stmtFor("j", intConst(0), intConst(3), {assign})};
+
+    CanonicalizeResult result = canonicalize(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_EQ(result.sem.int_args.size(), 1u);
+
+    Rng rng(17);
+    BitVector a = BitVector::random(64, rng);
+    for (int64_t imm : {0, 1, 5, 15}) {
+        BitVector expected = spec.evaluate({a}, {imm});
+        EXPECT_EQ(result.sem.evaluate({a}, {}, {imm}), expected);
+        for (int e = 0; e < 4; ++e) {
+            EXPECT_EQ(expected.extract(e * 16, 16),
+                      a.extract(e * 16, 16).shl(static_cast<int>(imm)));
+        }
+    }
+}
+
+TEST(Canonicalize, InterleaveLoopBecomesByInner)
+{
+    // for j in 0..7 { dst[2j*8 +: 8] := a[j*8 +: 8];
+    //                 dst[(2j+1)*8 +: 8] := b[j*8 +: 8] }
+    SpecFunction spec;
+    spec.name = "zip";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(64)}, {"b", intConst(64)}};
+    spec.out_width = 128;
+    ExprPtr src_low = mulI(namedVar("j"), intConst(8));
+    StmtPtr even = stmtSliceAssign(mulI(namedVar("j"), intConst(16)),
+                                   intConst(8),
+                                   extract(argBV(0), src_low, intConst(8)));
+    StmtPtr odd = stmtSliceAssign(
+        addI(mulI(namedVar("j"), intConst(16)), intConst(8)), intConst(8),
+        extract(argBV(1), src_low, intConst(8)));
+    spec.body = {stmtFor("j", intConst(0), intConst(7), {even, odd})};
+
+    CanonicalizeResult result = canonicalize(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.sem.mode, TemplateMode::ByInner);
+    EXPECT_EQ(result.sem.templates.size(), 2u);
+    EXPECT_EQ(result.sem.inner_count->value, 2);
+    EXPECT_EQ(result.sem.outer_count->value, 8);
+    expectAgrees(spec, result.sem);
+}
+
+TEST(Canonicalize, SequentialLoopsBecomeByOuter)
+{
+    // Combine: first loop writes a into the low half, second writes b
+    // into the high half.
+    SpecFunction spec;
+    spec.name = "combine";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(64)}, {"b", intConst(64)}};
+    spec.out_width = 128;
+    ExprPtr low0 = mulI(namedVar("j"), intConst(8));
+    StmtPtr first = stmtFor(
+        "j", intConst(0), intConst(7),
+        {stmtSliceAssign(low0, intConst(8),
+                         extract(argBV(0), low0, intConst(8)))});
+    ExprPtr low1 = mulI(namedVar("j"), intConst(8));
+    StmtPtr second = stmtFor(
+        "j", intConst(0), intConst(7),
+        {stmtSliceAssign(addI(low1, intConst(64)), intConst(8),
+                         extract(argBV(1), low1, intConst(8)))});
+    spec.body = {first, second};
+
+    CanonicalizeResult result = canonicalize(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.sem.mode, TemplateMode::ByOuter);
+    EXPECT_EQ(result.sem.templates.size(), 2u);
+    expectAgrees(spec, result.sem);
+}
+
+TEST(Canonicalize, FullyUnrolledSpecIsRerolled)
+{
+    // Four hand-unrolled slice assignments implementing a 4x16 vector
+    // negate; the canonicalizer must reroll them into one loop.
+    SpecFunction spec;
+    spec.name = "unrolled_neg";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(64)}};
+    spec.out_width = 64;
+    for (int e = 0; e < 4; ++e) {
+        spec.body.push_back(stmtSliceAssign(
+            intConst(e * 16), intConst(16),
+            bvUn(BVUnOp::Neg,
+                 extract(argBV(0), intConst(e * 16), intConst(16)))));
+    }
+    CanonicalizeResult result = canonicalize(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.strategy, "reroll");
+    EXPECT_EQ(result.sem.mode, TemplateMode::Uniform);
+    EXPECT_EQ(result.sem.outer_count->value, 4);
+    expectAgrees(spec, result.sem);
+}
+
+TEST(Canonicalize, UnrolledInterleaveRerollsToByInner)
+{
+    // Hand-unrolled 4-element interleave: elements alternate sources,
+    // so Uniform anti-unification fails and ByInner(2) must be found.
+    SpecFunction spec;
+    spec.name = "unrolled_zip";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(32)}, {"b", intConst(32)}};
+    spec.out_width = 64;
+    for (int e = 0; e < 4; ++e) {
+        const int src = e / 2;
+        spec.body.push_back(stmtSliceAssign(
+            intConst(e * 16), intConst(16),
+            extract(argBV(e % 2), intConst(src * 16), intConst(16))));
+    }
+    CanonicalizeResult result = canonicalize(spec);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.strategy, "reroll");
+    EXPECT_EQ(result.sem.mode, TemplateMode::ByInner);
+    expectAgrees(spec, result.sem);
+}
+
+TEST(Canonicalize, RejectsNonContiguousOutput)
+{
+    SpecFunction spec;
+    spec.name = "gap";
+    spec.isa = "test";
+    spec.bv_args = {{"a", intConst(32)}};
+    spec.out_width = 32;
+    // Writes only the upper half: slots 16..31, leaving a gap.
+    spec.body = {stmtSliceAssign(intConst(16), intConst(16),
+                                 extract(argBV(0), intConst(0), intConst(16)))};
+    CanonicalizeResult result = canonicalize(spec);
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(AntiUnify, IdenticalInstancesStayIdentical)
+{
+    std::vector<ExprPtr> instances = {intConst(5), intConst(5), intConst(5)};
+    ExprPtr unified = antiUnifyAffine(instances, 0);
+    ASSERT_TRUE(unified);
+    EXPECT_EQ(unified->kind, ExprKind::IntConst);
+    EXPECT_EQ(unified->value, 5);
+}
+
+TEST(AntiUnify, AffineConstantsBecomeLoopExpressions)
+{
+    std::vector<ExprPtr> instances = {intConst(3), intConst(7), intConst(11)};
+    ExprPtr unified = antiUnifyAffine(instances, 1);
+    ASSERT_TRUE(unified);
+    for (int64_t t = 0; t < 3; ++t) {
+        EvalEnv env;
+        env.loop_j = t;
+        EXPECT_EQ(evalInt(unified, env), 3 + 4 * t);
+    }
+}
+
+TEST(AntiUnify, NonAffineFails)
+{
+    std::vector<ExprPtr> instances = {intConst(0), intConst(1), intConst(4)};
+    EXPECT_EQ(antiUnifyAffine(instances, 0), nullptr);
+}
+
+TEST(AntiUnify, StructuralMismatchFails)
+{
+    std::vector<ExprPtr> instances = {argBV(0), argBV(1)};
+    EXPECT_EQ(antiUnifyAffine(instances, 0), nullptr);
+    std::vector<ExprPtr> ops = {bvBin(BVBinOp::Add, argBV(0), argBV(1)),
+                                bvBin(BVBinOp::Sub, argBV(0), argBV(1))};
+    EXPECT_EQ(antiUnifyAffine(ops, 0), nullptr);
+}
+
+TEST(AntiUnify, RecursesThroughMatchingStructure)
+{
+    auto instance = [](int64_t low) {
+        return bvBin(BVBinOp::Add,
+                     extract(argBV(0), intConst(low), intConst(8)),
+                     extract(argBV(1), intConst(low), intConst(8)));
+    };
+    std::vector<ExprPtr> instances = {instance(0), instance(8), instance(16)};
+    ExprPtr unified = antiUnifyAffine(instances, 0);
+    ASSERT_TRUE(unified);
+    std::vector<BitVector> args = {BitVector::fromUint(32, 0x04030201),
+                                   BitVector::fromUint(32, 0x40302010)};
+    for (int64_t i = 0; i < 3; ++i) {
+        EvalEnv env;
+        env.bv_args = &args;
+        env.loop_i = i;
+        EXPECT_EQ(evalBV(unified, env).toUint64(),
+                  ((0x01 + i) + (0x10 * (1 + i))) & 0xFFu);
+    }
+}
+
+} // namespace
+} // namespace hydride

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the Halide-IR vector expression language and the 33
+ * benchmark kernels: evaluation semantics per operator, structural
+ * hashing (the synthesis memo key), and well-formedness of every
+ * kernel under every target's vector width.
+ */
+#include <gtest/gtest.h>
+
+#include "halide/kernels.h"
+#include "support/rng.h"
+
+namespace hydride {
+namespace {
+
+std::vector<BitVector>
+randomInputs(const HExprPtr &expr, Rng &rng)
+{
+    // Walk the tree to find input shapes.
+    std::vector<int> widths;
+    std::vector<const HExpr *> stack = {expr.get()};
+    while (!stack.empty()) {
+        const HExpr *node = stack.back();
+        stack.pop_back();
+        if (node->op == HOp::Input) {
+            if (node->imm >= static_cast<int64_t>(widths.size()))
+                widths.resize(node->imm + 1, 0);
+            widths[node->imm] = node->totalWidth();
+        }
+        for (const auto &kid : node->kids)
+            stack.push_back(kid.get());
+    }
+    std::vector<BitVector> inputs;
+    for (int w : widths)
+        inputs.push_back(BitVector::random(std::max(w, 1), rng));
+    return inputs;
+}
+
+TEST(HalideExpr, AddEvaluatesLanewise)
+{
+    HExprPtr e = hBin(HOp::Add, hInput(0, 16, 4), hInput(1, 16, 4));
+    Rng rng(61);
+    BitVector a = BitVector::random(64, rng);
+    BitVector b = BitVector::random(64, rng);
+    BitVector out = evalHalide(e, {a, b});
+    for (int lane = 0; lane < 4; ++lane)
+        EXPECT_EQ(out.extract(lane * 16, 16),
+                  a.extract(lane * 16, 16).add(b.extract(lane * 16, 16)));
+}
+
+TEST(HalideExpr, CastWidensPerSignedness)
+{
+    BitVector a(16);
+    a.setSlice(0, BitVector::fromInt(8, -3));
+    a.setSlice(8, BitVector::fromInt(8, 5));
+    HExprPtr sext = hCast(hInput(0, 8, 2), 16, true);
+    BitVector out = evalHalide(sext, {a});
+    EXPECT_EQ(out.extract(0, 16).toInt64(), -3);
+    EXPECT_EQ(out.extract(16, 16).toInt64(), 5);
+    HExprPtr zext = hCast(hInput(0, 8, 2), 16, false);
+    out = evalHalide(zext, {a});
+    EXPECT_EQ(out.extract(0, 16).toUint64(), 0xFDu);
+}
+
+TEST(HalideExpr, ConstSplatFillsLanes)
+{
+    BitVector out = evalHalide(hConst(-1, 16, 4), {});
+    EXPECT_EQ(out, BitVector::allOnes(64));
+    out = evalHalide(hConst(42, 8, 3), {});
+    for (int lane = 0; lane < 3; ++lane)
+        EXPECT_EQ(out.extract(lane * 8, 8).toUint64(), 42u);
+}
+
+TEST(HalideExpr, ReduceAddSumsGroups)
+{
+    BitVector a(64);
+    for (int lane = 0; lane < 4; ++lane)
+        a.setSlice(lane * 16, BitVector::fromInt(16, 10 + lane));
+    HExprPtr e = hReduceAdd(hInput(0, 16, 4), 2);
+    BitVector out = evalHalide(e, {a});
+    EXPECT_EQ(out.width(), 32);
+    EXPECT_EQ(out.extract(0, 16).toInt64(), 21);  // 10+11
+    EXPECT_EQ(out.extract(16, 16).toInt64(), 25); // 12+13
+}
+
+TEST(HalideExpr, MulHiTakesHighHalf)
+{
+    BitVector a(16);
+    BitVector b(16);
+    a.setSlice(0, BitVector::fromInt(16, 30000));
+    b.setSlice(0, BitVector::fromInt(16, 20000));
+    HExprPtr e = hBin(HOp::MulHiS, hInput(0, 16, 1), hInput(1, 16, 1));
+    BitVector out = evalHalide(e, {a, b});
+    EXPECT_EQ(out.toInt64(), (30000ll * 20000ll) >> 16);
+}
+
+TEST(HalideExpr, SatOpsSaturate)
+{
+    BitVector a(8);
+    BitVector b(8);
+    a.setSlice(0, BitVector::fromUint(8, 200));
+    b.setSlice(0, BitVector::fromUint(8, 100));
+    EXPECT_EQ(evalHalide(hBin(HOp::SatAddU, hInput(0, 8, 1),
+                              hInput(1, 8, 1)),
+                         {a, b})
+                  .toUint64(),
+              255u);
+    BitVector wide = BitVector::fromInt(16, 300);
+    EXPECT_EQ(evalHalide(hSatNarrow(hInput(0, 16, 1), 8, true), {wide})
+                  .toInt64(),
+              127);
+}
+
+TEST(HalideExpr, ConcatAndSlice)
+{
+    BitVector a = BitVector::fromUint(16, 0x1122);
+    BitVector b = BitVector::fromUint(16, 0x3344);
+    HExprPtr cat = hConcat(hInput(0, 8, 2), hInput(1, 8, 2));
+    BitVector out = evalHalide(cat, {a, b});
+    EXPECT_EQ(out.toUint64(), 0x33441122u);
+    HExprPtr sl = hSlice(cat, 1, 2);
+    EXPECT_EQ(evalHalide(sl, {a, b}).toUint64(), 0x4411u);
+}
+
+TEST(HalideExpr, ShiftsAreLanewise)
+{
+    BitVector a(32);
+    a.setSlice(0, BitVector::fromInt(16, -4));
+    a.setSlice(16, BitVector::fromInt(16, 4));
+    BitVector out =
+        evalHalide(hShift(HOp::AShrC, hInput(0, 16, 2), 1), {a});
+    EXPECT_EQ(out.extract(0, 16).toInt64(), -2);
+    EXPECT_EQ(out.extract(16, 16).toInt64(), 2);
+}
+
+TEST(HalideExpr, HashAndEqualityAgree)
+{
+    HExprPtr a = hBin(HOp::Add, hInput(0, 16, 8), hInput(1, 16, 8));
+    HExprPtr b = hBin(HOp::Add, hInput(0, 16, 8), hInput(1, 16, 8));
+    HExprPtr c = hBin(HOp::Sub, hInput(0, 16, 8), hInput(1, 16, 8));
+    EXPECT_TRUE(HExpr::equals(a, b));
+    EXPECT_EQ(HExpr::hashOf(a), HExpr::hashOf(b));
+    EXPECT_FALSE(HExpr::equals(a, c));
+    EXPECT_NE(HExpr::hashOf(a), HExpr::hashOf(c));
+    // Lane count participates in the hash (cache keys are per
+    // vectorization factor).
+    HExprPtr wide = hBin(HOp::Add, hInput(0, 16, 16), hInput(1, 16, 16));
+    EXPECT_NE(HExpr::hashOf(a), HExpr::hashOf(wide));
+}
+
+TEST(HalideKernels, ThirtyThreeBenchmarks)
+{
+    EXPECT_EQ(kernelNames().size(), 33u);
+}
+
+class KernelsAtWidth : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KernelsAtWidth, AllKernelsBuildAndEvaluate)
+{
+    Schedule schedule;
+    schedule.vector_bits = GetParam();
+    Rng rng(70 + GetParam());
+    for (const auto &name : kernelNames()) {
+        Kernel kernel = buildKernel(name, schedule);
+        EXPECT_FALSE(kernel.windows.empty()) << name;
+        EXPECT_GT(kernel.iterations, 0.0) << name;
+        for (const auto &window : kernel.windows) {
+            auto inputs = randomInputs(window, rng);
+            BitVector out = evalHalide(window, inputs);
+            EXPECT_EQ(out.width(), window->totalWidth()) << name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorWidths, KernelsAtWidth,
+                         ::testing::Values(128, 256, 512, 1024));
+
+TEST(HalideKernels, UnrollDuplicatesWindowsWithoutChangingShapes)
+{
+    Schedule base;
+    base.vector_bits = 256;
+    Schedule unrolled = base;
+    unrolled.unroll = 4;
+    Kernel k1 = buildKernel("matmul_b1", base);
+    Kernel k4 = buildKernel("matmul_b1", unrolled);
+    EXPECT_EQ(k4.windows.size(), 4 * k1.windows.size());
+    for (const auto &window : k4.windows)
+        EXPECT_TRUE(HExpr::equals(window, k1.windows[0]));
+}
+
+TEST(HalideKernels, MatmulWindowIsTheTable3Expression)
+{
+    Schedule schedule;
+    schedule.vector_bits = 256;
+    Kernel kernel = buildKernel("matmul_b1", schedule);
+    ASSERT_EQ(kernel.windows.size(), 1u);
+    const HExprPtr &w = kernel.windows[0];
+    // acc + reduce-add(mul(sext a, sext b), 2) over 8 i32 lanes.
+    EXPECT_EQ(w->op, HOp::Add);
+    EXPECT_EQ(w->elem_width, 32);
+    EXPECT_EQ(w->lanes, 8);
+    Rng rng(71);
+    auto inputs = randomInputs(w, rng);
+    BitVector out = evalHalide(w, inputs);
+    // Reference: acc[i] + a[2i]*b[2i] + a[2i+1]*b[2i+1] (i32).
+    for (int i = 0; i < 8; ++i) {
+        int64_t acc = inputs[0].extract(i * 32, 32).toInt64();
+        int64_t a0 = inputs[1].extract(2 * i * 16, 16).toInt64();
+        int64_t a1 = inputs[1].extract((2 * i + 1) * 16, 16).toInt64();
+        int64_t b0 = inputs[2].extract(2 * i * 16, 16).toInt64();
+        int64_t b1 = inputs[2].extract((2 * i + 1) * 16, 16).toInt64();
+        int64_t expect = acc + a0 * b0 + a1 * b1;
+        EXPECT_EQ(out.extract(i * 32, 32).toInt64(),
+                  BitVector::fromInt(32, expect).toInt64());
+    }
+}
+
+TEST(HalideKernels, MedianWindowComputesTheMedian)
+{
+    Schedule schedule;
+    schedule.vector_bits = 128;
+    Kernel kernel = buildKernel("median3x3", schedule);
+    ASSERT_EQ(kernel.windows.size(), 1u);
+    Rng rng(72);
+    auto inputs = randomInputs(kernel.windows[0], rng);
+    BitVector out = evalHalide(kernel.windows[0], inputs);
+    for (int lane = 0; lane < 16; ++lane) {
+        std::vector<uint64_t> v;
+        for (int p = 0; p < 9; ++p)
+            v.push_back(inputs[p].extract(lane * 8, 8).toUint64());
+        std::sort(v.begin(), v.end());
+        EXPECT_EQ(out.extract(lane * 8, 8).toUint64(), v[4]) << lane;
+    }
+}
+
+TEST(HalideKernels, DilateWindowIsRunningMax)
+{
+    Schedule schedule;
+    schedule.vector_bits = 128;
+    Kernel kernel = buildKernel("dilate3x3", schedule);
+    ASSERT_EQ(kernel.windows.size(), 2u);
+    Rng rng(73);
+    auto inputs = randomInputs(kernel.windows[0], rng);
+    BitVector out = evalHalide(kernel.windows[0], inputs);
+    for (int lane = 0; lane < 16; ++lane) {
+        uint64_t expect = 0;
+        for (int p = 0; p < 3; ++p)
+            expect = std::max(expect,
+                              inputs[p].extract(lane * 8, 8).toUint64());
+        EXPECT_EQ(out.extract(lane * 8, 8).toUint64(), expect);
+    }
+}
+
+} // namespace
+} // namespace hydride

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Focused tests for the macro expander's harder lowering paths:
+ * chunk splitting across register boundaries, widening/narrowing
+ * cascades, the clamp fallback for saturating narrows, the
+ * multiply-high decomposition, reversed-operand packs, pairwise
+ * reduction strategies, and the instruction allow-list hook.
+ */
+#include <gtest/gtest.h>
+
+#include "codegen/macro_expand.h"
+#include "specs/spec_db.h"
+#include "support/rng.h"
+
+namespace hydride {
+namespace {
+
+const AutoLLVMDict &
+dict()
+{
+    static const AutoLLVMDict d = AutoLLVMDict::build({"x86", "hvx", "arm"});
+    return d;
+}
+
+/** Expand and differentially validate one window. */
+void
+expectLowersCorrectly(MacroExpander &expander, const HExprPtr &window,
+                      uint64_t seed)
+{
+    ExpandResult result = expander.expand(window);
+    ASSERT_TRUE(result.ok) << result.error;
+    Rng rng(seed);
+    for (int trial = 0; trial < 4; ++trial) {
+        std::vector<BitVector> inputs;
+        for (int width : result.program.input_widths)
+            inputs.push_back(BitVector::random(std::max(width, 1), rng));
+        EXPECT_EQ(result.program.evaluate(dict(), inputs),
+                  evalHalide(window, inputs));
+    }
+}
+
+TEST(MacroExpand, WideningCastSplitsAcrossRegisters)
+{
+    MacroExpander expander(dict(), "x86", 512);
+    // u8 -> i16 doubles the footprint: 512 -> 2x512.
+    HExprPtr window = hCast(hInput(0, 8, 64), 16, false);
+    ExpandResult result = expander.expand(window);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.program.results.size(), 2u);
+    expectLowersCorrectly(expander, window, 11);
+}
+
+TEST(MacroExpand, NarrowingUsesPairPacks)
+{
+    MacroExpander expander(dict(), "x86", 512);
+    HExprPtr window = hSatNarrow(
+        hConcat(hInput(0, 16, 32), hInput(1, 16, 32)), 8, false);
+    ExpandResult result = expander.expand(window);
+    ASSERT_TRUE(result.ok) << result.error;
+    bool used_pack = false;
+    for (const auto &inst : result.program.insts)
+        used_pack |= inst.inst_name.find("packus") != std::string::npos;
+    EXPECT_TRUE(used_pack);
+    expectLowersCorrectly(expander, window, 12);
+}
+
+TEST(MacroExpand, HvxPackUsesReversedOperands)
+{
+    // HVX vpacke's Vv operand supplies the low half; the expander
+    // must still produce [trunc(lo) | trunc(hi)].
+    MacroExpander expander(dict(), "hvx", 1024);
+    HExprPtr window =
+        hCast(hConcat(hInput(0, 16, 64), hInput(1, 16, 64)), 8, true);
+    expectLowersCorrectly(expander, window, 13);
+}
+
+TEST(MacroExpand, ClampFallbackWhenSaturatingPackIsBanned)
+{
+    ExpanderOptions options;
+    options.allow = [](const std::string &name) {
+        return !(name.find("_sat") != std::string::npos &&
+                 name.rfind("vpack", 0) == 0);
+    };
+    MacroExpander expander(dict(), "hvx", 1024, options);
+    HExprPtr window = hSatNarrow(
+        hConcat(hInput(0, 16, 64), hInput(1, 16, 64)), 8, false);
+    ExpandResult result = expander.expand(window);
+    ASSERT_TRUE(result.ok) << result.error;
+    // The banned fused pack must not appear; min/max clamping must.
+    bool used_minmax = false;
+    for (const auto &inst : result.program.insts) {
+        EXPECT_TRUE(options.allow(inst.inst_name)) << inst.inst_name;
+        used_minmax |= inst.inst_name.find("vmin") != std::string::npos ||
+                       inst.inst_name.find("vmax") != std::string::npos;
+    }
+    EXPECT_TRUE(used_minmax);
+    expectLowersCorrectly(expander, window, 14);
+}
+
+TEST(MacroExpand, MulHiDecomposesOnArm)
+{
+    // ARM has no vector multiply-high; the expander widens,
+    // multiplies, shifts and narrows.
+    MacroExpander expander(dict(), "arm", 128);
+    HExprPtr window =
+        hBin(HOp::MulHiS, hInput(0, 16, 8), hInput(1, 16, 8));
+    ExpandResult result = expander.expand(window);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_GT(result.program.insts.size(), 4u);
+    expectLowersCorrectly(expander, window, 15);
+}
+
+TEST(MacroExpand, ReduceAddViaHaddOnX86AndDealOnHvx)
+{
+    HExprPtr window_x86 = hReduceAdd(
+        hCast(hInput(0, 16, 32), 32, true), 2);
+    MacroExpander x86(dict(), "x86", 512);
+    ExpandResult rx = x86.expand(window_x86);
+    ASSERT_TRUE(rx.ok) << rx.error;
+    bool used_hadd = false;
+    for (const auto &inst : rx.program.insts)
+        used_hadd |= inst.inst_name.find("hadd") != std::string::npos;
+    EXPECT_TRUE(used_hadd);
+    expectLowersCorrectly(x86, window_x86, 16);
+
+    HExprPtr window_hvx = hReduceAdd(
+        hCast(hInput(0, 16, 64), 32, true), 2);
+    MacroExpander hvx(dict(), "hvx", 1024);
+    ExpandResult rh = hvx.expand(window_hvx);
+    ASSERT_TRUE(rh.ok) << rh.error;
+    bool used_deal = false;
+    for (const auto &inst : rh.program.insts)
+        used_deal |= inst.inst_name.find("vdeal") != std::string::npos;
+    EXPECT_TRUE(used_deal);
+    expectLowersCorrectly(hvx, window_hvx, 17);
+}
+
+TEST(MacroExpand, ConstantsAreHoistedNotComputed)
+{
+    MacroExpander expander(dict(), "x86", 512);
+    HExprPtr window = hBin(HOp::MaxS, hInput(0, 32, 16),
+                           hConst(0, 32, 16)); // relu
+    ExpandResult result = expander.expand(window);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.program.insts.size(), 1u); // just the max
+    EXPECT_EQ(result.program.constants.size(), 1u);
+    expectLowersCorrectly(expander, window, 18);
+}
+
+TEST(MacroExpand, CseReusesSharedSubtrees)
+{
+    HExprPtr shared = hBin(HOp::Add, hInput(0, 16, 32),
+                           hInput(1, 16, 32));
+    HExprPtr window = hBin(HOp::Mul, shared, shared);
+    MacroExpander expander(dict(), "x86", 512);
+    ExpandResult result = expander.expand(window);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.program.insts.size(), 2u); // one add + one mul
+    expectLowersCorrectly(expander, window, 19);
+}
+
+TEST(MacroExpand, AllowListFiltersInstructionChoice)
+{
+    ExpanderOptions options;
+    options.allow = [](const std::string &name) {
+        return name.find("avg") == std::string::npos;
+    };
+    MacroExpander expander(dict(), "hvx", 1024, options);
+    HExprPtr window = hBin(HOp::AvgU, hInput(0, 8, 128),
+                           hInput(1, 8, 128));
+    ExpandResult result = expander.expand(window);
+    // With every averaging instruction banned there is no direct
+    // lowering for AvgU; the expander reports failure (which is what
+    // makes the Rake backend fail on average_pool).
+    EXPECT_FALSE(result.ok);
+}
+
+} // namespace
+} // namespace hydride

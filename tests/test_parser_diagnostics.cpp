@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Negative-path tests for the pseudocode parsers: malformed vendor
+ * specs must die with a diagnostic naming the instruction and line
+ * (spec bugs are user errors -> fatal, paper §5's fuzz-and-fix
+ * workflow depends on actionable messages), and the bitwidth type
+ * inference must reject ill-typed expressions.
+ */
+#include <gtest/gtest.h>
+
+#include "specs/x86_parser.h"
+#include "specs/hvx_parser.h"
+#include "specs/arm_parser.h"
+
+namespace hydride {
+namespace {
+
+TEST(ParserDiagnostics, X86WidthMismatchDies)
+{
+    InstDef bad;
+    bad.name = "bad_widths";
+    bad.pseudocode =
+        "DEFINE bad_widths(a: bit[128], b: bit[128]) -> bit[128] LAT 1\n"
+        "FOR j := 0 to 7\n"
+        "i := j*16\n"
+        "dst[i+15:i] := a[i+15:i] + b[i+7:i]\n" // 16 vs 8 bits
+        "ENDFOR\nENDDEF\n";
+    EXPECT_EXIT(parseX86Inst(bad), ::testing::ExitedWithCode(1),
+                "width mismatch");
+}
+
+TEST(ParserDiagnostics, X86UnknownFunctionDies)
+{
+    InstDef bad;
+    bad.name = "bad_fn";
+    bad.pseudocode =
+        "DEFINE bad_fn(a: bit[32]) -> bit[32] LAT 1\n"
+        "dst[31:0] := Frobnicate(a[31:0], 16)\n"
+        "ENDDEF\n";
+    EXPECT_EXIT(parseX86Inst(bad), ::testing::ExitedWithCode(1),
+                "unknown function");
+}
+
+TEST(ParserDiagnostics, X86UnknownIdentifierNamesTheLine)
+{
+    InstDef bad;
+    bad.name = "bad_ident";
+    bad.pseudocode =
+        "DEFINE bad_ident(a: bit[32]) -> bit[32] LAT 1\n"
+        "dst[31:0] := q[31:0]\n"
+        "ENDDEF\n";
+    EXPECT_EXIT(parseX86Inst(bad), ::testing::ExitedWithCode(1),
+                "bad_ident:2.*unknown identifier");
+}
+
+TEST(ParserDiagnostics, X86SymbolicSliceWidthDies)
+{
+    InstDef bad;
+    bad.name = "bad_slice";
+    bad.pseudocode =
+        "DEFINE bad_slice(a: bit[64], n: imm) -> bit[64] LAT 1\n"
+        "dst[n:0] := a[n:0]\n" // width depends on an immediate
+        "ENDDEF\n";
+    EXPECT_EXIT(parseX86Inst(bad), ::testing::ExitedWithCode(1),
+                "fold to a constant");
+}
+
+TEST(ParserDiagnostics, HvxBadAccessorDies)
+{
+    InstDef bad;
+    bad.name = "bad_lane";
+    bad.pseudocode =
+        "INST bad_lane(Vu: v512) -> v512 LAT 1 {\n"
+        "for (i = 0; i < 64; i++) {\n"
+        "dst.q[i] = Vu.q[i];\n" // no such lane type
+        "}\n}\n";
+    EXPECT_EXIT(parseHvxInst(bad), ::testing::ExitedWithCode(1),
+                "lane accessor");
+}
+
+TEST(ParserDiagnostics, HvxLoopVariableMismatchDies)
+{
+    InstDef bad;
+    bad.name = "bad_loop";
+    bad.pseudocode =
+        "INST bad_loop(Vu: v512) -> v512 LAT 1 {\n"
+        "for (i = 0; j < 64; i++) {\n"
+        "dst.b[i] = Vu.b[i];\n"
+        "}\n}\n";
+    EXPECT_EXIT(parseHvxInst(bad), ::testing::ExitedWithCode(1),
+                "loop variable");
+}
+
+TEST(ParserDiagnostics, ArmTernaryConditionMustBeOneBit)
+{
+    InstDef bad;
+    bad.name = "bad_cond";
+    bad.pseudocode =
+        "INSTRUCTION bad_cond (a: bits(64), b: bits(64)) => bits(64) "
+        "LATENCY 1\n"
+        "for e = 0 to 3 do\n"
+        "Elem[dst, e, 16] = Elem[a, e, 16] ? Elem[a, e, 16] : "
+        "Elem[b, e, 16];\n"
+        "endfor\nENDINSTRUCTION\n";
+    EXPECT_EXIT(parseArmInst(bad), ::testing::ExitedWithCode(1),
+                "1-bit");
+}
+
+TEST(ParserDiagnostics, ArmMalformedHeaderDies)
+{
+    InstDef bad;
+    bad.name = "bad_header";
+    bad.pseudocode = "INSTRUCTION bad_header (a: bits(64) => bits(64)\n";
+    EXPECT_EXIT(parseArmInst(bad), ::testing::ExitedWithCode(1),
+                "parse error");
+}
+
+} // namespace
+} // namespace hydride

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Miscellaneous spec-layer tests: the shared lexer's token rules,
+ * manual rendering, and the spec database's caching behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "specs/parser_common.h"
+#include "specs/spec_db.h"
+
+namespace hydride {
+namespace {
+
+TEST(Lexer, MultiCharPunctuationLongestMatch)
+{
+    auto tokens = lexPseudocode("a >>> b >> c := d == e != f <= g");
+    std::vector<std::string> texts;
+    for (const auto &tok : tokens)
+        if (tok.kind == TokKind::Punct)
+            texts.push_back(tok.text);
+    EXPECT_EQ(texts, (std::vector<std::string>{">>>", ">>", ":=", "==",
+                                               "!=", "<="}));
+}
+
+TEST(Lexer, CommentsAndLinesAreTracked)
+{
+    auto tokens = lexPseudocode("x // comment with := tokens\ny");
+    ASSERT_GE(tokens.size(), 3u); // x, y, End
+    EXPECT_EQ(tokens[0].text, "x");
+    EXPECT_EQ(tokens[1].text, "y");
+    EXPECT_EQ(tokens[1].line, 2);
+}
+
+TEST(Lexer, SliceColonVersusAssign)
+{
+    auto tokens = lexPseudocode("dst[i+15:i] := a");
+    int colons = 0;
+    int assigns = 0;
+    for (const auto &tok : tokens) {
+        colons += tok.text == ":";
+        assigns += tok.text == ":=";
+    }
+    EXPECT_EQ(colons, 1);
+    EXPECT_EQ(assigns, 1);
+}
+
+TEST(Lexer, NumbersAreDecimal)
+{
+    auto tokens = lexPseudocode("1024 0 7");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0].number, 1024);
+    EXPECT_EQ(tokens[1].number, 0);
+    EXPECT_EQ(tokens[2].number, 7);
+}
+
+TEST(SpecDb, ManualRenderingContainsEveryInstruction)
+{
+    const IsaSpec &manual = isaManual("hvx");
+    const std::string text = manual.renderManual();
+    for (size_t i = 0; i < manual.insts.size(); i += 29)
+        EXPECT_NE(text.find(manual.insts[i].name), std::string::npos);
+}
+
+TEST(SpecDb, SemanticsAreCachedByReference)
+{
+    const IsaSemantics &first = isaSemantics("hvx");
+    const IsaSemantics &second = isaSemantics("hvx");
+    EXPECT_EQ(&first, &second);
+}
+
+TEST(SpecDb, CombinedSemanticsConcatenates)
+{
+    auto combined = combinedSemantics({"hvx", "arm"});
+    EXPECT_EQ(combined.size(), isaSemantics("hvx").insts.size() +
+                                   isaSemantics("arm").insts.size());
+}
+
+TEST(SpecDb, BuiltinIsasAreTheEvaluationTriple)
+{
+    EXPECT_EQ(builtinIsas(),
+              (std::vector<std::string>{"x86", "hvx", "arm"}));
+}
+
+} // namespace
+} // namespace hydride

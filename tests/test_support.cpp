@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the support utilities: strings, RNG, tables.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace hydride {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto fields = split("a,,b,", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "b");
+    EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, SplitSingleField)
+{
+    auto fields = split("hello", ',');
+    ASSERT_EQ(fields.size(), 1u);
+    EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(Strings, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  x y \t\n"), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("_mm256_add_epi16", "_mm256"));
+    EXPECT_FALSE(startsWith("_mm", "_mm256"));
+    EXPECT_TRUE(endsWith("_mm256_add_epi16", "epi16"));
+    EXPECT_FALSE(endsWith("epi16", "_mm256_add_epi16"));
+}
+
+TEST(Strings, JoinAndReplace)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(replaceAll("x+x+x", "+", "-"), "x-x-x");
+    EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, Format)
+{
+    EXPECT_EQ(format("%d/%s", 42, "x"), "42/x");
+    EXPECT_EQ(format("%05.1f", 2.25), "002.2");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 50; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Table, AlignedPrinting)
+{
+    Table table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer", "22"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Table, CsvPrinting)
+{
+    Table table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+} // namespace
+} // namespace hydride

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the code synthesizer: grammar pruning (BVS/SBOS/swizzle
+ * inclusion), lane scaling, CEGIS end-to-end synthesis of the
+ * paper's flagship dot-product windows, the memoization cache, and
+ * the compiler driver with window splitting.
+ */
+#include <gtest/gtest.h>
+
+#include "specs/spec_db.h"
+#include "support/rng.h"
+#include "synthesis/compiler.h"
+
+namespace hydride {
+namespace {
+
+const AutoLLVMDict &
+dict()
+{
+    static const AutoLLVMDict d = AutoLLVMDict::build({"x86", "hvx", "arm"});
+    return d;
+}
+
+HExprPtr
+matmulWindow(int vector_bits)
+{
+    Schedule schedule;
+    schedule.vector_bits = vector_bits;
+    return buildKernel("matmul_b1", schedule).windows[0];
+}
+
+TEST(Grammar, BvsPrunesUnrelatedClasses)
+{
+    HExprPtr window = matmulWindow(512);
+    GrammarOptions with;
+    GrammarOptions without;
+    without.bvs = false;
+    without.sbos = false;
+    Grammar pruned = buildGrammar(dict(), "x86", window, 1, with);
+    Grammar full = buildGrammar(dict(), "x86", window, 1, without);
+    EXPECT_GT(pruned.ops.size(), 0u);
+    EXPECT_LT(pruned.ops.size(), full.ops.size() / 2);
+}
+
+TEST(Grammar, SbosCapsPerClassVariants)
+{
+    HExprPtr window = matmulWindow(512);
+    GrammarOptions k2;
+    k2.k = 1;
+    GrammarOptions k8;
+    k8.k = 8;
+    Grammar small = buildGrammar(dict(), "x86", window, 1, k2);
+    Grammar large = buildGrammar(dict(), "x86", window, 1, k8);
+    EXPECT_LE(small.ops.size(), large.ops.size());
+}
+
+TEST(Grammar, SwizzlesAreAlwaysIncluded)
+{
+    HExprPtr window = matmulWindow(512);
+    GrammarOptions options;
+    Grammar grammar = buildGrammar(dict(), "x86", window, 1, options);
+    bool has_swizzle = false;
+    for (const auto &op : grammar.ops)
+        has_swizzle |= isSwizzleClass(dict().cls(op.variant.class_id));
+    EXPECT_TRUE(has_swizzle);
+
+    options.include_swizzles = false;
+    Grammar no_swizzle =
+        buildGrammar(dict(), "x86", window, 1, options);
+    for (const auto &op : no_swizzle.ops)
+        EXPECT_FALSE(isSwizzleClass(dict().cls(op.variant.class_id)));
+}
+
+TEST(Grammar, MaxOpsCapsGlobally)
+{
+    HExprPtr window = matmulWindow(512);
+    GrammarOptions options;
+    options.bvs = false;
+    options.sbos = false;
+    options.max_ops = 50;
+    Grammar grammar = buildGrammar(dict(), "x86", window, 1, options);
+    EXPECT_EQ(grammar.ops.size(), 50u);
+}
+
+TEST(Grammar, ImmPoolComesFromTheWindow)
+{
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel gauss = buildKernel("gaussian3x3", schedule);
+    Grammar grammar =
+        buildGrammar(dict(), "x86", gauss.windows[1], 1, {});
+    // The column window shifts right by 4.
+    EXPECT_NE(std::find(grammar.imm_pool.begin(), grammar.imm_pool.end(),
+                        4),
+              grammar.imm_pool.end());
+}
+
+TEST(ScaleWindow, DividesEveryLaneCount)
+{
+    HExprPtr window = matmulWindow(512);
+    HExprPtr scaled = scaleWindow(window, 4);
+    ASSERT_TRUE(scaled);
+    EXPECT_EQ(scaled->lanes, window->lanes / 4);
+    // Semantics at the scaled width track the original structure.
+    Rng rng(91);
+    std::vector<BitVector> inputs = {BitVector::random(128, rng),
+                                     BitVector::random(128, rng),
+                                     BitVector::random(128, rng)};
+    BitVector out = evalHalide(scaled, inputs);
+    EXPECT_EQ(out.width(), 128);
+}
+
+TEST(ScaleParams, ScalesCountAndRegWidthOnly)
+{
+    const int class_id = dict().classOfInstruction("_mm512_add_epi16");
+    const EquivalenceClass &cls = dict().cls(class_id);
+    for (size_t m = 0; m < cls.members.size(); ++m) {
+        if (cls.members[m].name != "_mm512_add_epi16")
+            continue;
+        std::vector<int64_t> scaled;
+        ASSERT_TRUE(scaleParams(cls, cls.members[m].param_values, 4,
+                                scaled));
+        EXPECT_EQ(cls.rep.outputWidth(scaled), 128);
+        // Element width is untouched.
+        EvalEnv env;
+        env.param_values = &scaled;
+        EXPECT_EQ(evalInt(cls.rep.elem_width, env), 16);
+    }
+}
+
+TEST(Cegis, SynthesizesDpwssdForX86Matmul)
+{
+    SynthesisResult result =
+        synthesizeWindow(dict(), "x86", matmulWindow(512));
+    ASSERT_TRUE(result.ok) << result.note;
+    ASSERT_EQ(result.module.insts.size(), 1u);
+    EXPECT_EQ(result.module.insts[0].op.member(dict()).name,
+              "_mm512_dpwssd_epi32");
+    EXPECT_EQ(result.cost, 5);
+    EXPECT_GT(result.scale, 1);
+}
+
+TEST(Cegis, SynthesizesVdmpyAccForHvxMatmul)
+{
+    SynthesisResult result =
+        synthesizeWindow(dict(), "hvx", matmulWindow(1024));
+    ASSERT_TRUE(result.ok) << result.note;
+    ASSERT_EQ(result.module.insts.size(), 1u);
+    EXPECT_EQ(result.module.insts[0].op.member(dict()).name,
+              "vdmpyh_acc_128B");
+}
+
+TEST(Cegis, SynthesizedModuleIsCorrectAtFullWidth)
+{
+    HExprPtr window = matmulWindow(512);
+    SynthesisResult result = synthesizeWindow(dict(), "x86", window);
+    ASSERT_TRUE(result.ok);
+    Rng rng(92);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<BitVector> inputs;
+        for (int w : result.module.input_widths)
+            inputs.push_back(BitVector::random(w, rng));
+        EXPECT_EQ(result.module.evaluate(dict(), inputs),
+                  evalHalide(window, inputs));
+    }
+}
+
+TEST(Cegis, SingleInstructionWindowsSynthesizeDirectly)
+{
+    // Saturating u8 add: one instruction on every target.
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel add = buildKernel("add", schedule);
+    SynthesisResult result =
+        synthesizeWindow(dict(), "x86", add.windows[0]);
+    ASSERT_TRUE(result.ok) << result.note;
+    EXPECT_EQ(result.cost, 1);
+    EXPECT_EQ(result.module.insts.size(), 1u);
+}
+
+TEST(Cegis, LaneScalingReportsScaleFactor)
+{
+    SynthesisResult result =
+        synthesizeWindow(dict(), "x86", matmulWindow(512));
+    ASSERT_TRUE(result.ok);
+    EXPECT_GE(result.scale, 2);
+
+    SynthesisOptions no_scaling;
+    no_scaling.scaling = false;
+    SynthesisResult unscaled =
+        synthesizeWindow(dict(), "x86", matmulWindow(512), no_scaling);
+    ASSERT_TRUE(unscaled.ok);
+    EXPECT_EQ(unscaled.scale, 1);
+    EXPECT_EQ(unscaled.cost, result.cost);
+}
+
+TEST(Cache, HitsOnStructurallyIdenticalWindows)
+{
+    SynthesisCache cache;
+    SynthesisOptions options;
+    HydrideCompiler compiler(dict(), "x86", 512, options, &cache);
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    // matmul_b4 contains four structurally identical windows.
+    Kernel kernel = buildKernel("matmul_b4", schedule);
+    KernelCompilation compiled = compiler.compile(kernel);
+    EXPECT_EQ(compiled.cache_hits, 3);
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.hits(), 3);
+}
+
+TEST(Cache, SharedAcrossKernels)
+{
+    SynthesisCache cache;
+    SynthesisOptions options;
+    HydrideCompiler compiler(dict(), "x86", 512, options, &cache);
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    compiler.compile(buildKernel("matmul_b1", schedule));
+    const int misses_before = cache.misses();
+    // conv_nn's window only differs in operand order inside the
+    // commutative add... actually it shares matmul's dot structure.
+    KernelCompilation second =
+        compiler.compile(buildKernel("matmul_bias", schedule));
+    EXPECT_GT(second.cache_hits, 0);
+    EXPECT_GE(cache.misses(), misses_before);
+}
+
+TEST(Compiler, FallsBackWhenSynthesisFails)
+{
+    // ARM has no 2-way dot product: the compiler must still produce a
+    // correct program through macro expansion.
+    SynthesisOptions options;
+    options.timeout_seconds = 2.0;
+    HydrideCompiler compiler(dict(), "arm", 128, options);
+    WindowCompilation compiled =
+        compiler.compileWindow(matmulWindow(128));
+    EXPECT_FALSE(compiled.synthesized);
+    EXPECT_FALSE(compiled.program.insts.empty());
+}
+
+TEST(Compiler, SplitsDeepWindows)
+{
+    SynthesisOptions options;
+    options.timeout_seconds = 2.0;
+    options.window_depth = 4;
+    HydrideCompiler compiler(dict(), "hvx", 1024, options);
+    Schedule schedule;
+    schedule.vector_bits = 1024;
+    Kernel gauss = buildKernel("gaussian3x3", schedule);
+    KernelCompilation compiled = compiler.compile(gauss);
+    EXPECT_GT(compiled.windows.size(), gauss.windows.size());
+    EXPECT_EQ(compiled.pieces.size(), compiled.windows.size());
+}
+
+TEST(SplitWindow, PiecesComposeToTheOriginal)
+{
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel gauss = buildKernel("gaussian5x5", schedule);
+    const HExprPtr &window = gauss.windows[1];
+    const int base = halideInputCount(window);
+    std::vector<HExprPtr> pieces = splitWindow(window, 3, base);
+    ASSERT_GT(pieces.size(), 1u);
+
+    Rng rng(93);
+    // Original inputs.
+    std::vector<BitVector> pool(base, BitVector(1));
+    std::vector<const HExpr *> stack = {window.get()};
+    std::vector<int> widths(base, 16);
+    while (!stack.empty()) {
+        const HExpr *node = stack.back();
+        stack.pop_back();
+        if (node->op == HOp::Input)
+            widths[node->imm] = node->totalWidth();
+        for (const auto &kid : node->kids)
+            stack.push_back(kid.get());
+    }
+    for (int i = 0; i < base; ++i)
+        pool[i] = BitVector::random(widths[i], rng);
+    // Evaluate pieces in order, feeding outputs forward.
+    for (size_t piece = 0; piece + 1 < pieces.size(); ++piece)
+        pool.push_back(evalHalide(pieces[piece], pool));
+    EXPECT_EQ(evalHalide(pieces.back(), pool),
+              evalHalide(window, std::vector<BitVector>(
+                                     pool.begin(), pool.begin() + base)));
+}
+
+} // namespace
+} // namespace hydride

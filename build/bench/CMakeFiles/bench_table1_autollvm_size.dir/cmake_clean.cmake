@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_autollvm_size.dir/bench_table1_autollvm_size.cpp.o"
+  "CMakeFiles/bench_table1_autollvm_size.dir/bench_table1_autollvm_size.cpp.o.d"
+  "bench_table1_autollvm_size"
+  "bench_table1_autollvm_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_autollvm_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_semantics_fuzz.dir/bench_table2_semantics_fuzz.cpp.o"
+  "CMakeFiles/bench_table2_semantics_fuzz.dir/bench_table2_semantics_fuzz.cpp.o.d"
+  "bench_table2_semantics_fuzz"
+  "bench_table2_semantics_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_semantics_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_codegen.dir/bench_table3_codegen.cpp.o"
+  "CMakeFiles/bench_table3_codegen.dir/bench_table3_codegen.cpp.o.d"
+  "bench_table3_codegen"
+  "bench_table3_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

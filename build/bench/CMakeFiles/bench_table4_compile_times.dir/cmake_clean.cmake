@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_compile_times.dir/bench_table4_compile_times.cpp.o"
+  "CMakeFiles/bench_table4_compile_times.dir/bench_table4_compile_times.cpp.o.d"
+  "bench_table4_compile_times"
+  "bench_table4_compile_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_compile_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_sensitivity.dir/bench_table5_sensitivity.cpp.o"
+  "CMakeFiles/bench_table5_sensitivity.dir/bench_table5_sensitivity.cpp.o.d"
+  "bench_table5_sensitivity"
+  "bench_table5_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blur_pipeline.dir/blur_pipeline.cpp.o"
+  "CMakeFiles/blur_pipeline.dir/blur_pipeline.cpp.o.d"
+  "blur_pipeline"
+  "blur_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blur_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_codegen.dir/matmul_codegen.cpp.o"
+  "CMakeFiles/matmul_codegen.dir/matmul_codegen.cpp.o.d"
+  "matmul_codegen"
+  "matmul_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

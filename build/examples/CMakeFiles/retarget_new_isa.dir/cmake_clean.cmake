@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retarget_new_isa.dir/retarget_new_isa.cpp.o"
+  "CMakeFiles/retarget_new_isa.dir/retarget_new_isa.cpp.o.d"
+  "retarget_new_isa"
+  "retarget_new_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retarget_new_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autollvm/dict.cpp" "src/autollvm/CMakeFiles/hydride_autollvm.dir/dict.cpp.o" "gcc" "src/autollvm/CMakeFiles/hydride_autollvm.dir/dict.cpp.o.d"
+  "/root/repo/src/autollvm/mlir.cpp" "src/autollvm/CMakeFiles/hydride_autollvm.dir/mlir.cpp.o" "gcc" "src/autollvm/CMakeFiles/hydride_autollvm.dir/mlir.cpp.o.d"
+  "/root/repo/src/autollvm/module.cpp" "src/autollvm/CMakeFiles/hydride_autollvm.dir/module.cpp.o" "gcc" "src/autollvm/CMakeFiles/hydride_autollvm.dir/module.cpp.o.d"
+  "/root/repo/src/autollvm/tablegen.cpp" "src/autollvm/CMakeFiles/hydride_autollvm.dir/tablegen.cpp.o" "gcc" "src/autollvm/CMakeFiles/hydride_autollvm.dir/tablegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/similarity/CMakeFiles/hydride_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/CMakeFiles/hydride_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/hydride_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hydride_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_autollvm.dir/dict.cpp.o"
+  "CMakeFiles/hydride_autollvm.dir/dict.cpp.o.d"
+  "CMakeFiles/hydride_autollvm.dir/mlir.cpp.o"
+  "CMakeFiles/hydride_autollvm.dir/mlir.cpp.o.d"
+  "CMakeFiles/hydride_autollvm.dir/module.cpp.o"
+  "CMakeFiles/hydride_autollvm.dir/module.cpp.o.d"
+  "CMakeFiles/hydride_autollvm.dir/tablegen.cpp.o"
+  "CMakeFiles/hydride_autollvm.dir/tablegen.cpp.o.d"
+  "libhydride_autollvm.a"
+  "libhydride_autollvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_autollvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hydride_autollvm.
+# This may be replaced when dependencies are built.

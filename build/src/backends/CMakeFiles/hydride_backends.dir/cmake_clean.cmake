@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_backends.dir/backends.cpp.o"
+  "CMakeFiles/hydride_backends.dir/backends.cpp.o.d"
+  "CMakeFiles/hydride_backends.dir/simulator.cpp.o"
+  "CMakeFiles/hydride_backends.dir/simulator.cpp.o.d"
+  "CMakeFiles/hydride_backends.dir/targets.cpp.o"
+  "CMakeFiles/hydride_backends.dir/targets.cpp.o.d"
+  "libhydride_backends.a"
+  "libhydride_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/lowering.cpp" "src/codegen/CMakeFiles/hydride_codegen.dir/lowering.cpp.o" "gcc" "src/codegen/CMakeFiles/hydride_codegen.dir/lowering.cpp.o.d"
+  "/root/repo/src/codegen/macro_expand.cpp" "src/codegen/CMakeFiles/hydride_codegen.dir/macro_expand.cpp.o" "gcc" "src/codegen/CMakeFiles/hydride_codegen.dir/macro_expand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autollvm/CMakeFiles/hydride_autollvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/halide/CMakeFiles/hydride_halide.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/hydride_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/CMakeFiles/hydride_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/hydride_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hydride_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

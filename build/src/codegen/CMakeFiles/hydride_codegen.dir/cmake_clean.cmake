@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_codegen.dir/lowering.cpp.o"
+  "CMakeFiles/hydride_codegen.dir/lowering.cpp.o.d"
+  "CMakeFiles/hydride_codegen.dir/macro_expand.cpp.o"
+  "CMakeFiles/hydride_codegen.dir/macro_expand.cpp.o.d"
+  "libhydride_codegen.a"
+  "libhydride_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

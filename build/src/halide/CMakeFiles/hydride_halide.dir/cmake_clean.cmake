@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_halide.dir/hexpr.cpp.o"
+  "CMakeFiles/hydride_halide.dir/hexpr.cpp.o.d"
+  "CMakeFiles/hydride_halide.dir/kernels.cpp.o"
+  "CMakeFiles/hydride_halide.dir/kernels.cpp.o.d"
+  "libhydride_halide.a"
+  "libhydride_halide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_halide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

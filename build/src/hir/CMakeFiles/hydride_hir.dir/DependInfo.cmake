@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hir/bitvector.cpp" "src/hir/CMakeFiles/hydride_hir.dir/bitvector.cpp.o" "gcc" "src/hir/CMakeFiles/hydride_hir.dir/bitvector.cpp.o.d"
+  "/root/repo/src/hir/canonicalize.cpp" "src/hir/CMakeFiles/hydride_hir.dir/canonicalize.cpp.o" "gcc" "src/hir/CMakeFiles/hydride_hir.dir/canonicalize.cpp.o.d"
+  "/root/repo/src/hir/expr.cpp" "src/hir/CMakeFiles/hydride_hir.dir/expr.cpp.o" "gcc" "src/hir/CMakeFiles/hydride_hir.dir/expr.cpp.o.d"
+  "/root/repo/src/hir/printer.cpp" "src/hir/CMakeFiles/hydride_hir.dir/printer.cpp.o" "gcc" "src/hir/CMakeFiles/hydride_hir.dir/printer.cpp.o.d"
+  "/root/repo/src/hir/semantics.cpp" "src/hir/CMakeFiles/hydride_hir.dir/semantics.cpp.o" "gcc" "src/hir/CMakeFiles/hydride_hir.dir/semantics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hydride_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

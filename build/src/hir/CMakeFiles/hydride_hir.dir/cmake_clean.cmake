@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_hir.dir/bitvector.cpp.o"
+  "CMakeFiles/hydride_hir.dir/bitvector.cpp.o.d"
+  "CMakeFiles/hydride_hir.dir/canonicalize.cpp.o"
+  "CMakeFiles/hydride_hir.dir/canonicalize.cpp.o.d"
+  "CMakeFiles/hydride_hir.dir/expr.cpp.o"
+  "CMakeFiles/hydride_hir.dir/expr.cpp.o.d"
+  "CMakeFiles/hydride_hir.dir/printer.cpp.o"
+  "CMakeFiles/hydride_hir.dir/printer.cpp.o.d"
+  "CMakeFiles/hydride_hir.dir/semantics.cpp.o"
+  "CMakeFiles/hydride_hir.dir/semantics.cpp.o.d"
+  "libhydride_hir.a"
+  "libhydride_hir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_hir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

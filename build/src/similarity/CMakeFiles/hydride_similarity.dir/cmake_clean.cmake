@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_similarity.dir/engine.cpp.o"
+  "CMakeFiles/hydride_similarity.dir/engine.cpp.o.d"
+  "CMakeFiles/hydride_similarity.dir/extraction.cpp.o"
+  "CMakeFiles/hydride_similarity.dir/extraction.cpp.o.d"
+  "libhydride_similarity.a"
+  "libhydride_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

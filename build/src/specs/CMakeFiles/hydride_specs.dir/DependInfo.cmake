@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specs/arm_manual.cpp" "src/specs/CMakeFiles/hydride_specs.dir/arm_manual.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/arm_manual.cpp.o.d"
+  "/root/repo/src/specs/arm_parser.cpp" "src/specs/CMakeFiles/hydride_specs.dir/arm_parser.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/arm_parser.cpp.o.d"
+  "/root/repo/src/specs/hvx_manual.cpp" "src/specs/CMakeFiles/hydride_specs.dir/hvx_manual.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/hvx_manual.cpp.o.d"
+  "/root/repo/src/specs/hvx_parser.cpp" "src/specs/CMakeFiles/hydride_specs.dir/hvx_parser.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/hvx_parser.cpp.o.d"
+  "/root/repo/src/specs/isa.cpp" "src/specs/CMakeFiles/hydride_specs.dir/isa.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/isa.cpp.o.d"
+  "/root/repo/src/specs/parser_common.cpp" "src/specs/CMakeFiles/hydride_specs.dir/parser_common.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/parser_common.cpp.o.d"
+  "/root/repo/src/specs/spec_db.cpp" "src/specs/CMakeFiles/hydride_specs.dir/spec_db.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/spec_db.cpp.o.d"
+  "/root/repo/src/specs/x86_manual.cpp" "src/specs/CMakeFiles/hydride_specs.dir/x86_manual.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/x86_manual.cpp.o.d"
+  "/root/repo/src/specs/x86_parser.cpp" "src/specs/CMakeFiles/hydride_specs.dir/x86_parser.cpp.o" "gcc" "src/specs/CMakeFiles/hydride_specs.dir/x86_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hir/CMakeFiles/hydride_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hydride_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_specs.dir/arm_manual.cpp.o"
+  "CMakeFiles/hydride_specs.dir/arm_manual.cpp.o.d"
+  "CMakeFiles/hydride_specs.dir/arm_parser.cpp.o"
+  "CMakeFiles/hydride_specs.dir/arm_parser.cpp.o.d"
+  "CMakeFiles/hydride_specs.dir/hvx_manual.cpp.o"
+  "CMakeFiles/hydride_specs.dir/hvx_manual.cpp.o.d"
+  "CMakeFiles/hydride_specs.dir/hvx_parser.cpp.o"
+  "CMakeFiles/hydride_specs.dir/hvx_parser.cpp.o.d"
+  "CMakeFiles/hydride_specs.dir/isa.cpp.o"
+  "CMakeFiles/hydride_specs.dir/isa.cpp.o.d"
+  "CMakeFiles/hydride_specs.dir/parser_common.cpp.o"
+  "CMakeFiles/hydride_specs.dir/parser_common.cpp.o.d"
+  "CMakeFiles/hydride_specs.dir/spec_db.cpp.o"
+  "CMakeFiles/hydride_specs.dir/spec_db.cpp.o.d"
+  "CMakeFiles/hydride_specs.dir/x86_manual.cpp.o"
+  "CMakeFiles/hydride_specs.dir/x86_manual.cpp.o.d"
+  "CMakeFiles/hydride_specs.dir/x86_parser.cpp.o"
+  "CMakeFiles/hydride_specs.dir/x86_parser.cpp.o.d"
+  "libhydride_specs.a"
+  "libhydride_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_support.dir/error.cpp.o"
+  "CMakeFiles/hydride_support.dir/error.cpp.o.d"
+  "CMakeFiles/hydride_support.dir/rng.cpp.o"
+  "CMakeFiles/hydride_support.dir/rng.cpp.o.d"
+  "CMakeFiles/hydride_support.dir/strings.cpp.o"
+  "CMakeFiles/hydride_support.dir/strings.cpp.o.d"
+  "CMakeFiles/hydride_support.dir/table.cpp.o"
+  "CMakeFiles/hydride_support.dir/table.cpp.o.d"
+  "libhydride_support.a"
+  "libhydride_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydride_synthesis.dir/cache.cpp.o"
+  "CMakeFiles/hydride_synthesis.dir/cache.cpp.o.d"
+  "CMakeFiles/hydride_synthesis.dir/cegis.cpp.o"
+  "CMakeFiles/hydride_synthesis.dir/cegis.cpp.o.d"
+  "CMakeFiles/hydride_synthesis.dir/compiler.cpp.o"
+  "CMakeFiles/hydride_synthesis.dir/compiler.cpp.o.d"
+  "CMakeFiles/hydride_synthesis.dir/grammar.cpp.o"
+  "CMakeFiles/hydride_synthesis.dir/grammar.cpp.o.d"
+  "libhydride_synthesis.a"
+  "libhydride_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydride_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

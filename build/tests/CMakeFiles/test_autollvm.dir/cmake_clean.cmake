@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autollvm.dir/test_autollvm.cpp.o"
+  "CMakeFiles/test_autollvm.dir/test_autollvm.cpp.o.d"
+  "test_autollvm"
+  "test_autollvm.pdb"
+  "test_autollvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autollvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

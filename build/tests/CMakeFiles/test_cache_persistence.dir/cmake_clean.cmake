@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_persistence.dir/test_cache_persistence.cpp.o"
+  "CMakeFiles/test_cache_persistence.dir/test_cache_persistence.cpp.o.d"
+  "test_cache_persistence"
+  "test_cache_persistence.pdb"
+  "test_cache_persistence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canonicalize.dir/test_canonicalize.cpp.o"
+  "CMakeFiles/test_canonicalize.dir/test_canonicalize.cpp.o.d"
+  "test_canonicalize"
+  "test_canonicalize.pdb"
+  "test_canonicalize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canonicalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

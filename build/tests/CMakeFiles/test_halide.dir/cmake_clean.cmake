@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halide.dir/test_halide.cpp.o"
+  "CMakeFiles/test_halide.dir/test_halide.cpp.o.d"
+  "test_halide"
+  "test_halide.pdb"
+  "test_halide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_macro_expand.dir/test_macro_expand.cpp.o"
+  "CMakeFiles/test_macro_expand.dir/test_macro_expand.cpp.o.d"
+  "test_macro_expand"
+  "test_macro_expand.pdb"
+  "test_macro_expand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_macro_expand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

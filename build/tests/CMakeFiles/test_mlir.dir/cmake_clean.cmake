@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlir.dir/test_mlir.cpp.o"
+  "CMakeFiles/test_mlir.dir/test_mlir.cpp.o.d"
+  "test_mlir"
+  "test_mlir.pdb"
+  "test_mlir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

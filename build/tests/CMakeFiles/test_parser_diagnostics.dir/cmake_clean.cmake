@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_diagnostics.dir/test_parser_diagnostics.cpp.o"
+  "CMakeFiles/test_parser_diagnostics.dir/test_parser_diagnostics.cpp.o.d"
+  "test_parser_diagnostics"
+  "test_parser_diagnostics.pdb"
+  "test_parser_diagnostics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

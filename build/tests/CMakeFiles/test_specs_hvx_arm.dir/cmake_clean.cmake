@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specs_hvx_arm.dir/test_specs_hvx_arm.cpp.o"
+  "CMakeFiles/test_specs_hvx_arm.dir/test_specs_hvx_arm.cpp.o.d"
+  "test_specs_hvx_arm"
+  "test_specs_hvx_arm.pdb"
+  "test_specs_hvx_arm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specs_hvx_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

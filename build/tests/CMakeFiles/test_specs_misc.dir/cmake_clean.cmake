@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specs_misc.dir/test_specs_misc.cpp.o"
+  "CMakeFiles/test_specs_misc.dir/test_specs_misc.cpp.o.d"
+  "test_specs_misc"
+  "test_specs_misc.pdb"
+  "test_specs_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specs_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specs_x86.dir/test_specs_x86.cpp.o"
+  "CMakeFiles/test_specs_x86.dir/test_specs_x86.cpp.o.d"
+  "test_specs_x86"
+  "test_specs_x86.pdb"
+  "test_specs_x86[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specs_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_synthesis.cpp" "tests/CMakeFiles/test_synthesis.dir/test_synthesis.cpp.o" "gcc" "tests/CMakeFiles/test_synthesis.dir/test_synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/CMakeFiles/hydride_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthesis/CMakeFiles/hydride_synthesis.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/hydride_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/autollvm/CMakeFiles/hydride_autollvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/halide/CMakeFiles/hydride_halide.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/hydride_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/specs/CMakeFiles/hydride_specs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/hydride_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hydride_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

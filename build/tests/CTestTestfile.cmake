@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_bitvector[1]_include.cmake")
+include("/root/repo/build/tests/test_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_canonicalize[1]_include.cmake")
+include("/root/repo/build/tests/test_specs_x86[1]_include.cmake")
+include("/root/repo/build/tests/test_specs_hvx_arm[1]_include.cmake")
+include("/root/repo/build/tests/test_similarity[1]_include.cmake")
+include("/root/repo/build/tests/test_autollvm[1]_include.cmake")
+include("/root/repo/build/tests/test_halide[1]_include.cmake")
+include("/root/repo/build/tests/test_synthesis[1]_include.cmake")
+include("/root/repo/build/tests/test_backends[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_mlir[1]_include.cmake")
+include("/root/repo/build/tests/test_macro_expand[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_persistence[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_diagnostics[1]_include.cmake")
+include("/root/repo/build/tests/test_specs_misc[1]_include.cmake")

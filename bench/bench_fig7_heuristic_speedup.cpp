@@ -17,6 +17,7 @@
 #include "support/table.h"
 #include "halide/kernels.h"
 #include "synthesis/cegis.h"
+#include "trace_cli.h"
 
 using namespace hydride;
 
@@ -40,8 +41,10 @@ dotWindow(const TargetDesc &target)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceCli trace_cli;
+    trace_cli.parse(argc, argv);
     std::cout << "=== Figure 7: synthesis heuristic speedups over BVS "
                  "===\n\n";
     AutoLLVMDict dict = AutoLLVMDict::build({"x86", "hvx", "arm"});
@@ -103,5 +106,6 @@ main()
     std::cout << "\nPaper reference speedups over BVS (x86/HVX/ARM): "
                  "lane-wise 2/2.8/1.4; scaling+lane-wise 2/12.8/3.6; "
                  "+SBOS 2.7/20.8/6.\n";
+    trace_cli.finish();
     return 0;
 }

@@ -20,12 +20,15 @@
 #include "support/strings.h"
 #include "support/table.h"
 #include "support/timing.h"
+#include "trace_cli.h"
 
 using namespace hydride;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceCli trace_cli;
+    trace_cli.parse(argc, argv);
     std::cout << "=== Table 1: AutoLLVM IR results per architecture ===\n\n";
     Table table({"Architecture", "ISA Size", "AutoLLVM IR Size",
                  "% of ISA Size", "Offline Time (s)"});
@@ -57,5 +60,6 @@ main()
     std::cout << "\nPaper reference: x86 2,029->136 (6.7%), "
                  "HVX 307->115 (37.5%), ARM 1,221->177 (14.5%), "
                  "combined 3,557->397 (11.2%).\n";
+    trace_cli.finish();
     return 0;
 }

@@ -29,12 +29,15 @@
 #include "support/table.h"
 #include "support/timing.h"
 #include "synthesis/compiler.h"
+#include "trace_cli.h"
 
 using namespace hydride;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TraceCli trace_cli;
+    trace_cli.parse(argc, argv);
     std::cout << "=== Table 4: compilation times (ms) under cache "
                  "scenarios ===\n\n";
     AutoLLVMDict dict = AutoLLVMDict::build({"x86", "hvx", "arm"});
@@ -131,5 +134,6 @@ main()
     }
     std::cout << "Paper relation reproduced when geomean(I) >> "
                  "geomean(II) > geomean(III) ~= geomean(IV).\n";
+    trace_cli.finish();
     return 0;
 }

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared `--trace-out <file>` handling for the benchmark binaries.
+ *
+ * `--trace-out out.json` enables the observability layer for the run
+ * and, on finish(), writes
+ *
+ *   out.json               Chrome trace_event JSON (chrome://tracing
+ *                          or https://ui.perfetto.dev)
+ *   out.json.metrics.json  metrics registry snapshot
+ *
+ * so perf work can diff per-phase breakdowns between runs instead of
+ * end-to-end totals. The HYDRIDE_TRACE / HYDRIDE_METRICS environment
+ * variables (see docs/observability.md) work for any binary without
+ * this flag; the flag is a convenience for explicit output paths.
+ */
+#ifndef HYDRIDE_BENCH_TRACE_CLI_H
+#define HYDRIDE_BENCH_TRACE_CLI_H
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "observability/metrics.h"
+#include "observability/trace.h"
+
+namespace hydride {
+namespace bench {
+
+class TraceCli
+{
+  public:
+    /** Scan argv for --trace-out; enables tracing+metrics if found. */
+    void
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                i + 1 < argc) {
+                path_ = argv[++i];
+                trace::setEnabled(true);
+                metrics::setEnabled(true);
+            }
+        }
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Dump the trace and metrics artifacts (no-op without the flag). */
+    void
+    finish() const
+    {
+        if (path_.empty())
+            return;
+        const std::string metrics_path = path_ + ".metrics.json";
+        const bool trace_ok = trace::writeChromeJson(path_);
+        const bool metrics_ok = metrics::writeJson(metrics_path);
+        std::cerr << "trace: " << (trace_ok ? path_ : "<write failed>")
+                  << "\nmetrics: "
+                  << (metrics_ok ? metrics_path : "<write failed>")
+                  << "\n";
+    }
+
+  private:
+    std::string path_;
+};
+
+} // namespace bench
+} // namespace hydride
+
+#endif // HYDRIDE_BENCH_TRACE_CLI_H

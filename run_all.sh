@@ -1,9 +1,38 @@
 #!/bin/sh
 # Regenerate every paper table/figure and capture the outputs the
 # repository documents (test_output.txt / bench_output.txt).
+#
+#   ./run_all.sh           normal run
+#   ./run_all.sh --trace   additionally capture observability traces:
+#                          every test and bench runs with
+#                          HYDRIDE_TRACE=1 HYDRIDE_METRICS=1, the JSON
+#                          artifacts land in build/traces/, and
+#                          tools/check_trace.py validates each one
+#                          (malformed trace JSON fails the run).
+
+TRACE_MODE=0
+if [ "$1" = "--trace" ]; then
+    TRACE_MODE=1
+    export HYDRIDE_TRACE=1 HYDRIDE_METRICS=1
+    export HYDRIDE_TRACE_DIR=/root/repo/build/traces
+    rm -rf "$HYDRIDE_TRACE_DIR"
+    mkdir -p "$HYDRIDE_TRACE_DIR"
+fi
+
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===== $b ====="
     "$b"
 done 2>&1 | tee /root/repo/bench_output.txt | grep -E '=====|GEOMEAN|Validation' | tail -40
+
+if [ "$TRACE_MODE" = 1 ]; then
+    echo "===== validating traces in $HYDRIDE_TRACE_DIR ====="
+    set -- "$HYDRIDE_TRACE_DIR"/*.json
+    if [ ! -e "$1" ]; then
+        echo "run_all: no trace artifacts were produced" >&2
+        exit 1
+    fi
+    python3 /root/repo/tools/check_trace.py "$@" || exit 1
+    echo "run_all: $# observability artifacts validated"
+fi

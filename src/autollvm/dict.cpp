@@ -1,5 +1,7 @@
 #include "autollvm/dict.h"
 
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "specs/spec_db.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -30,7 +32,12 @@ AutoLLVMDict::AutoLLVMDict(std::vector<EquivalenceClass> classes)
 AutoLLVMDict
 AutoLLVMDict::build(const std::vector<std::string> &isas)
 {
-    return AutoLLVMDict(runSimilarityEngine(combinedSemantics(isas)));
+    trace::TraceSpan span("autollvm.dict.build");
+    span.setAttr("isas", join(isas, ","));
+    AutoLLVMDict dict(runSimilarityEngine(combinedSemantics(isas)));
+    span.setAttr("classes", dict.classCount());
+    metrics::gauge("autollvm.dict.classes").set(dict.classCount());
+    return dict;
 }
 
 const EquivalenceClass &

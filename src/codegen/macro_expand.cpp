@@ -1,5 +1,7 @@
 #include "codegen/macro_expand.h"
 
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "support/error.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -722,6 +724,12 @@ MacroExpander::lowerUncached(const HExprPtr &expr)
 ExpandResult
 MacroExpander::expand(const HExprPtr &window)
 {
+    trace::TraceSpan span("codegen.macro_expand.expand");
+    span.setAttr("isa", isa_);
+    static metrics::Counter &windows =
+        metrics::counter("codegen.macro_expand.windows");
+    windows.add();
+
     program_ = TargetProgram();
     program_.isa = isa_;
     error_.clear();

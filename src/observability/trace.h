@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Span-based structured tracing for the Hydride pipeline.
+ *
+ * Every pipeline phase opens an RAII `TraceSpan` named with the
+ * repository's `phase.component.event` convention (for example
+ * `synthesis.cegis.window`). Spans form a per-thread hierarchy —
+ * a span opened while another is alive on the same thread is its
+ * child — and record wall time plus arbitrary key/value attributes.
+ * Completed spans are buffered into a process-wide, lock-protected
+ * event log that exports as
+ *
+ *  - Chrome `trace_event` JSON (`exportChromeJson`), loadable in
+ *    `chrome://tracing` or https://ui.perfetto.dev, and
+ *  - a human-readable indented tree (`exportTreeSummary`).
+ *
+ * Tracing is off by default; when disabled a TraceSpan costs one
+ * relaxed atomic load and nothing is recorded. Enable it
+ * programmatically with `trace::setEnabled(true)` or via the
+ * environment:
+ *
+ *   HYDRIDE_TRACE=1          enable; write hydride_trace.<pid>.json
+ *                            into $HYDRIDE_TRACE_DIR (or the CWD)
+ *                            when the process exits
+ *   HYDRIDE_TRACE=<path>     enable; write the JSON to <path>
+ *   HYDRIDE_TRACE=0          force-disable
+ */
+#ifndef HYDRIDE_OBSERVABILITY_TRACE_H
+#define HYDRIDE_OBSERVABILITY_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hydride {
+namespace trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/** True when spans are being recorded (single relaxed load). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn tracing on or off at runtime. */
+void setEnabled(bool on);
+
+/** One completed span in the event log. */
+struct SpanRecord
+{
+    std::string name;
+    uint64_t thread_id = 0; ///< Small per-process thread ordinal.
+    int depth = 0;          ///< Nesting depth on its thread (0 = root).
+    uint64_t start_ns = 0;  ///< Nanoseconds since the trace epoch.
+    uint64_t duration_ns = 0;
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/**
+ * RAII span. Opens on construction (when tracing is enabled) and
+ * records itself into the event log on destruction. Attributes set
+ * while the span is alive are exported as Chrome `args`.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name);
+    ~TraceSpan();
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    void setAttr(const std::string &key, const std::string &value);
+    void setAttr(const std::string &key, const char *value);
+    void setAttr(const std::string &key, int64_t value);
+    void setAttr(const std::string &key, int value);
+    void setAttr(const std::string &key, double value);
+    void setAttr(const std::string &key, bool value);
+
+    /** True when this span is actually recording. */
+    bool active() const { return active_; }
+
+  private:
+    bool active_ = false;
+    uint64_t start_ns_ = 0;
+    int depth_ = 0;
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+/** Discard every buffered span (testing and between bench phases). */
+void reset();
+
+/** Copy of the event log, in span-completion order. */
+std::vector<SpanRecord> snapshotSpans();
+
+/** The buffered spans as Chrome trace_event JSON. */
+std::string exportChromeJson();
+
+/** The buffered spans as an indented per-thread tree with times. */
+std::string exportTreeSummary();
+
+/** Write exportChromeJson() to `path`; false on IO error. */
+bool writeChromeJson(const std::string &path);
+
+/** (Re)read HYDRIDE_TRACE / HYDRIDE_TRACE_DIR and apply them. Runs
+ *  automatically before main(); callable again from tests. */
+void configureFromEnv();
+
+} // namespace trace
+} // namespace hydride
+
+#endif // HYDRIDE_OBSERVABILITY_TRACE_H

@@ -1,5 +1,7 @@
 #include "similarity/engine.h"
 
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "similarity/extraction.h"
 #include "support/error.h"
 #include "support/rng.h"
@@ -213,6 +215,8 @@ runSimilarityEngine(const std::vector<CanonicalSemantics> &insts,
     if (!stats)
         stats = &local_stats;
     stats->instructions = static_cast<int>(insts.size());
+    trace::TraceSpan span("similarity.engine.run");
+    span.setAttr("instructions", static_cast<int64_t>(insts.size()));
 
     // Pass 1: extract constants and group structurally identical
     // symbolic semantics (PerformEqChecking over representatives).
@@ -231,6 +235,7 @@ runSimilarityEngine(const std::vector<CanonicalSemantics> &insts,
         const uint64_t hash = sym.shapeHash();
         bool merged = false;
         for (size_t idx : by_hash[hash]) {
+            ++stats->pairs_checked;
             if (CanonicalSemantics::sameShape(classes[idx].rep, sym)) {
                 classes[idx].members.push_back(std::move(member));
                 ++stats->structural_merges;
@@ -271,6 +276,7 @@ runSimilarityEngine(const std::vector<CanonicalSemantics> &insts,
                         continue;
                     std::vector<int> perm = identityPerm(nargs);
                     while (std::next_permutation(perm.begin(), perm.end())) {
+                        ++stats->pairs_checked;
                         CanonicalSemantics permuted = extractConstants(
                             permuteArgs(classes[b].members[0].concrete,
                                         perm));
@@ -337,6 +343,19 @@ runSimilarityEngine(const std::vector<CanonicalSemantics> &insts,
     if (options.eliminate_dead_params)
         for (auto &cls : classes)
             eliminateDeadParams(cls, stats);
+
+    span.setAttr("classes", static_cast<int64_t>(classes.size()));
+    span.setAttr("pairs_checked",
+                 static_cast<int64_t>(stats->pairs_checked));
+    metrics::counter("similarity.engine.pairs_checked")
+        .add(static_cast<uint64_t>(stats->pairs_checked));
+    metrics::counter("similarity.engine.classes_merged")
+        .add(static_cast<uint64_t>(stats->structural_merges +
+                                   stats->permutation_merges));
+    metrics::counter("similarity.engine.verification_failures")
+        .add(static_cast<uint64_t>(stats->verification_failures));
+    metrics::gauge("similarity.engine.classes")
+        .set(static_cast<int64_t>(classes.size()));
 
     return classes;
 }

@@ -76,6 +76,8 @@ struct SimilarityStats
     int permutation_merges = 0;
     int params_eliminated = 0;
     int verification_failures = 0;
+    /** Candidate pairs compared (structural + permuted shape checks). */
+    long pairs_checked = 0;
 };
 
 /** Run Algorithm 1 over canonicalized instruction semantics. */

@@ -1,5 +1,6 @@
 #include "specs/parser_common.h"
 
+#include "observability/metrics.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -153,6 +154,7 @@ TokenCursor::lookingAt(const std::string &text) const
 void
 TokenCursor::fail(const std::string &message) const
 {
+    metrics::counter("specs.parser.diagnostics").add();
     fatal(source_name_ + ":" + std::to_string(peek().line) +
           ": parse error: " + message);
 }

@@ -1,6 +1,8 @@
 #include "specs/spec_db.h"
 
 #include "hir/canonicalize.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "specs/arm_manual.h"
 #include "specs/arm_parser.h"
 #include "specs/hvx_manual.h"
@@ -30,6 +32,8 @@ isaManual(const std::string &isa)
     auto it = cache.find(isa);
     if (it != cache.end())
         return it->second;
+    trace::TraceSpan span("specs.manual.generate");
+    span.setAttr("isa", isa);
     IsaSpec spec;
     if (isa == "x86")
         spec = generateX86Manual();
@@ -39,12 +43,14 @@ isaManual(const std::string &isa)
         spec = generateArmManual();
     else
         fatal("unknown ISA `" + isa + "`");
+    span.setAttr("instructions", static_cast<int64_t>(spec.insts.size()));
     return cache.emplace(isa, std::move(spec)).first->second;
 }
 
 SpecFunction
 parseInst(const std::string &isa, const InstDef &inst)
 {
+    metrics::counter("specs.parser." + isa + ".instructions").add();
     if (isa == "x86")
         return parseX86Inst(inst);
     if (isa == "hvx")
@@ -64,6 +70,8 @@ isaSemantics(const std::string &isa)
     if (it != cache.end())
         return it->second;
 
+    trace::TraceSpan span("specs.semantics.parse");
+    span.setAttr("isa", isa);
     IsaSemantics sema;
     sema.isa = isa;
     for (const auto &inst : isaManual(isa).insts) {
@@ -75,6 +83,10 @@ isaSemantics(const std::string &isa)
         }
         sema.insts.push_back(std::move(result.sem));
     }
+    span.setAttr("instructions", static_cast<int64_t>(sema.insts.size()));
+    static metrics::Counter &parsed =
+        metrics::counter("specs.parser.instructions");
+    parsed.add(sema.insts.size());
     return cache.emplace(isa, std::move(sema)).first->second;
 }
 

@@ -1,28 +1,31 @@
 #include "support/error.h"
 
+#include "observability/log.h"
+
 #include <cstdlib>
-#include <iostream>
 
 namespace hydride {
 
 void
 fatal(const std::string &message)
 {
-    std::cerr << "hydride: fatal: " << message << std::endl;
+    // fatal/panic bypass the log-level filter: a process about to die
+    // must say why even under HYDRIDE_LOG_LEVEL=off.
+    logging::writeRaw("hydride: fatal: " + message);
     std::exit(1);
 }
 
 void
 panic(const std::string &message)
 {
-    std::cerr << "hydride: panic: " << message << std::endl;
+    logging::writeRaw("hydride: panic: " + message);
     std::abort();
 }
 
 void
 warn(const std::string &message)
 {
-    std::cerr << "hydride: warning: " << message << std::endl;
+    HYD_LOG(Warn, message);
 }
 
 AssertionError::AssertionError(std::string message)

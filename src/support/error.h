@@ -22,7 +22,8 @@ namespace hydride {
 /** Report an internal invariant violation and abort(). */
 [[noreturn]] void panic(const std::string &message);
 
-/** Print a non-fatal warning to stderr. */
+/** Non-fatal warning, routed through HYD_LOG(Warn, ...) so the
+ *  observability layer's log level controls it in one place. */
 void warn(const std::string &message);
 
 /**

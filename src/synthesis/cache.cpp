@@ -1,5 +1,6 @@
 #include "synthesis/cache.h"
 
+#include "observability/metrics.h"
 #include "support/strings.h"
 
 #include <fstream>
@@ -13,10 +14,16 @@ SynthesisCache::lookup(const HExprPtr &window, const std::string &isa)
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++misses_;
+        static metrics::Counter &miss_counter =
+            metrics::counter("synthesis.cache.misses");
+        miss_counter.add();
         return nullptr;
     }
     ++hits_;
     ++it->second.hits;
+    static metrics::Counter &hit_counter =
+        metrics::counter("synthesis.cache.hits");
+    hit_counter.add();
     return &it->second.result;
 }
 
@@ -26,6 +33,19 @@ SynthesisCache::insert(const HExprPtr &window, const std::string &isa,
 {
     const Key key{HExpr::hashOf(window), isa};
     entries_[key].result = result;
+    static metrics::Counter &insert_counter =
+        metrics::counter("synthesis.cache.inserts");
+    insert_counter.add();
+}
+
+void
+SynthesisCache::clear()
+{
+    lifetime_hits_ += hits_;
+    lifetime_misses_ += misses_;
+    metrics::counter("synthesis.cache.clears").add();
+    entries_.clear();
+    hits_ = misses_ = 0;
 }
 
 namespace {

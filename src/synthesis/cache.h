@@ -41,9 +41,23 @@ class SynthesisCache
     void insert(const HExprPtr &window, const std::string &isa,
                 const SynthesisResult &result);
 
-    void clear() { entries_.clear(); hits_ = misses_ = 0; }
+    /**
+     * Drop every entry and restart the per-epoch hit/miss counters.
+     * The counts are folded into the lifetime totals first (and into
+     * the `synthesis.cache.*` metrics as they accrue), so clearing
+     * between Table 4 warm/cold scenarios no longer silently discards
+     * the statistics of earlier runs.
+     */
+    void clear();
+
+    /** Hits/misses since construction or the last clear(). */
     int hits() const { return hits_; }
     int misses() const { return misses_; }
+
+    /** Cumulative totals across every clear(). */
+    long lifetimeHits() const { return lifetime_hits_ + hits_; }
+    long lifetimeMisses() const { return lifetime_misses_ + misses_; }
+
     size_t size() const { return entries_.size(); }
 
     using Key = std::pair<uint64_t, std::string>;
@@ -82,6 +96,8 @@ class SynthesisCache
     std::map<Key, CachedEntry> entries_;
     int hits_ = 0;
     int misses_ = 0;
+    long lifetime_hits_ = 0;
+    long lifetime_misses_ = 0;
 };
 
 } // namespace hydride

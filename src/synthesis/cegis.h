@@ -60,6 +60,8 @@ struct SynthesisResult
     double seconds = 0.0;
     int grammar_size = 0;
     int cegis_iterations = 0;
+    int counterexamples = 0;      ///< Counterexample inputs accumulated.
+    long candidates_rejected = 0; ///< Dedup/bank-full enumeration rejects.
     int scale = 1;
     std::string note;
 };

@@ -1,6 +1,9 @@
 #include "synthesis/compiler.h"
 
 #include "codegen/lowering.h"
+#include "observability/log.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "support/error.h"
 #include "support/timing.h"
 
@@ -35,13 +38,19 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
 {
     WindowCompilation out;
     Stopwatch watch;
+    trace::TraceSpan span("synthesis.compiler.window");
+    span.setAttr("isa", isa_);
 
     // Memoization cache first (paper §4.1).
     if (const SynthesisResult *cached = cache_->lookup(window, isa_)) {
         out.from_cache = true;
+        span.setAttr("from_cache", true);
         if (cached->ok) {
-            LoweringResult lowered =
-                lowerToTarget(cached->module, dict_, isa_);
+            LoweringResult lowered;
+            {
+                trace::TraceSpan lower_span("codegen.lowering.lower");
+                lowered = lowerToTarget(cached->module, dict_, isa_);
+            }
             HYD_ASSERT(lowered.ok,
                        "cached synthesis result no longer lowers: " +
                            lowered.error);
@@ -58,8 +67,11 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
                                                  options_);
         cache_->insert(window, isa_, synth);
         if (synth.ok) {
-            LoweringResult lowered = lowerToTarget(synth.module, dict_,
-                                                   isa_);
+            LoweringResult lowered;
+            {
+                trace::TraceSpan lower_span("codegen.lowering.lower");
+                lowered = lowerToTarget(synth.module, dict_, isa_);
+            }
             if (lowered.ok) {
                 out.synthesized = true;
                 out.synth = std::move(synth);
@@ -67,10 +79,17 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
                 out.synth_seconds = watch.seconds();
                 return out;
             }
+            HYD_LOG(Info, "lowering synthesized window on " + isa_ +
+                              " failed (" + lowered.error +
+                              "); falling back to macro expansion");
         }
     }
 
     // Fallback: macro expansion, like the baseline compiler.
+    span.setAttr("fallback", true);
+    static metrics::Counter &fallbacks =
+        metrics::counter("codegen.macro_expand.fallbacks");
+    fallbacks.add();
     ExpandResult expanded = fallback_.expand(window);
     if (!expanded.ok) {
         fatal("window failed both synthesis and macro expansion on " +
@@ -87,6 +106,9 @@ HydrideCompiler::compile(const Kernel &kernel)
     KernelCompilation out;
     out.kernel = kernel.name;
     out.isa = isa_;
+    trace::TraceSpan span("synthesis.compiler.kernel");
+    span.setAttr("kernel", kernel.name);
+    span.setAttr("isa", isa_);
     Stopwatch watch;
     for (size_t w = 0; w < kernel.windows.size(); ++w) {
         // Bound the expression depth per synthesis query (§4.2):
@@ -106,6 +128,9 @@ HydrideCompiler::compile(const Kernel &kernel)
         }
     }
     out.compile_seconds = watch.seconds();
+    span.setAttr("pieces", static_cast<int64_t>(out.pieces.size()));
+    span.setAttr("cache_hits", out.cache_hits);
+    span.setAttr("synthesized", out.synthesized_windows);
     return out;
 }
 

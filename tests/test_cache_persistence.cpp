@@ -104,6 +104,36 @@ TEST_F(CachePersistence, MissingFileFailsGracefully)
     EXPECT_FALSE(cache.load("definitely/not/here.cache", dict()));
 }
 
+TEST_F(CachePersistence, ClearPreservesLifetimeStatistics)
+{
+    SynthesisCache cache;
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel kernel = buildKernel("matmul_b1", schedule);
+    const HExprPtr &window = kernel.windows[0];
+
+    EXPECT_EQ(cache.lookup(window, "x86"), nullptr); // Miss.
+    SynthesisResult result = synthesizeWindow(dict(), "x86", window);
+    cache.insert(window, "x86", result);
+    EXPECT_NE(cache.lookup(window, "x86"), nullptr); // Hit.
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.misses(), 1);
+
+    // clear() restarts the per-epoch counters but folds them into the
+    // lifetime totals instead of discarding them.
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0);
+    EXPECT_EQ(cache.misses(), 0);
+    EXPECT_EQ(cache.lifetimeHits(), 1);
+    EXPECT_EQ(cache.lifetimeMisses(), 1);
+
+    EXPECT_EQ(cache.lookup(window, "x86"), nullptr); // Miss again.
+    EXPECT_EQ(cache.misses(), 1);
+    EXPECT_EQ(cache.lifetimeMisses(), 2);
+    EXPECT_EQ(cache.lifetimeHits(), 1);
+}
+
 TEST_F(CachePersistence, WarmCompilerFromDisk)
 {
     // Simulate two compiler invocations: the first saves its cache,

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate Hydride observability artifacts.
+
+Usage:
+    check_trace.py TRACE.json [METRICS.json ...]
+
+Checks that each trace file is well-formed Chrome trace_event JSON
+(every event carries name/ph/pid/tid/ts, complete events a numeric
+dur) and that each metrics file has the counters/gauges/histograms
+shape with consistent bucket arrays. Exits non-zero, naming the file
+and the problem, on the first malformed artifact. Stdlib only.
+"""
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"check_trace: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path, doc):
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, "missing top-level traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, "traceEvents is not a list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(path, f"{where} is not an object")
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in event:
+                fail(path, f"{where} missing required field '{key}'")
+        if not isinstance(event["name"], str) or not event["name"]:
+            fail(path, f"{where} has an empty name")
+        if not isinstance(event["ts"], (int, float)):
+            fail(path, f"{where} ts is not numeric")
+        if event["ph"] == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                fail(path, f"{where} complete event lacks numeric dur")
+            if event["dur"] < 0:
+                fail(path, f"{where} has negative dur")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            fail(path, f"{where} args is not an object")
+    return len(events)
+
+
+def check_metrics(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "snapshot is not an object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail(path, f"missing '{section}' object")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(path, f"counter '{name}' is not a non-negative integer")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, int):
+            fail(path, f"gauge '{name}' is not an integer")
+    for name, hist in doc["histograms"].items():
+        if not isinstance(hist, dict):
+            fail(path, f"histogram '{name}' is not an object")
+        for key in ("bounds", "buckets", "count", "sum", "min", "max"):
+            if key not in hist:
+                fail(path, f"histogram '{name}' missing '{key}'")
+        bounds, buckets = hist["bounds"], hist["buckets"]
+        if not isinstance(bounds, list) or not isinstance(buckets, list):
+            fail(path, f"histogram '{name}' bounds/buckets not lists")
+        if len(buckets) != len(bounds) + 1:
+            fail(path,
+                 f"histogram '{name}' has {len(buckets)} buckets for "
+                 f"{len(bounds)} bounds (want bounds+1)")
+        if list(bounds) != sorted(bounds):
+            fail(path, f"histogram '{name}' bounds are not sorted")
+        if sum(buckets) != hist["count"]:
+            fail(path,
+                 f"histogram '{name}' bucket sum {sum(buckets)} != "
+                 f"count {hist['count']}")
+    return (len(doc["counters"]), len(doc["gauges"]),
+            len(doc["histograms"]))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except OSError as err:
+            fail(path, f"cannot read: {err}")
+        except json.JSONDecodeError as err:
+            fail(path, f"malformed JSON: {err}")
+        # A metrics snapshot has the three-section shape; anything
+        # else must be a trace.
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            count = check_trace(path, doc)
+            print(f"check_trace: {path}: OK ({count} events)")
+        else:
+            counters, gauges, hists = check_metrics(path, doc)
+            print(f"check_trace: {path}: OK ({counters} counters, "
+                  f"{gauges} gauges, {hists} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

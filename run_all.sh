@@ -2,15 +2,26 @@
 # Regenerate every paper table/figure and capture the outputs the
 # repository documents (test_output.txt / bench_output.txt).
 #
-#   ./run_all.sh           normal run
-#   ./run_all.sh --trace   additionally capture observability traces:
-#                          every test and bench runs with
-#                          HYDRIDE_TRACE=1 HYDRIDE_METRICS=1, the JSON
-#                          artifacts land in build/traces/, and
-#                          tools/check_trace.py validates each one
-#                          (malformed trace JSON fails the run).
+#   ./run_all.sh             normal run (includes `hydride-verify`)
+#   ./run_all.sh --trace     additionally capture observability traces:
+#                            every test and bench runs with
+#                            HYDRIDE_TRACE=1 HYDRIDE_METRICS=1, the JSON
+#                            artifacts land in build/traces/, and
+#                            tools/check_trace.py validates each one
+#                            (malformed trace JSON fails the run).
+#   ./run_all.sh --sanitize  configure + build the `asan-ubsan` preset
+#                            (Debug, -fsanitize=address,undefined, with
+#                            load-time spec verification on) and run
+#                            the tier-1 test suite under it.
 
 TRACE_MODE=0
+if [ "$1" = "--sanitize" ]; then
+    cmake --preset asan-ubsan || exit 1
+    cmake --build --preset asan-ubsan -j "$(nproc)" || exit 1
+    ctest --preset asan-ubsan -j "$(nproc)" || exit 1
+    echo "run_all: sanitizer suite passed"
+    exit 0
+fi
 if [ "$1" = "--trace" ]; then
     TRACE_MODE=1
     export HYDRIDE_TRACE=1 HYDRIDE_METRICS=1
@@ -18,6 +29,9 @@ if [ "$1" = "--trace" ]; then
     rm -rf "$HYDRIDE_TRACE_DIR"
     mkdir -p "$HYDRIDE_TRACE_DIR"
 fi
+
+echo "===== hydride-verify ====="
+build/tools/hydride-verify --max-print 50 || exit 1
 
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
 for b in build/bench/*; do

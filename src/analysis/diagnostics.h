@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Structured diagnostics for the Hydride static verifier.
+ *
+ * Every verifier pass reports findings as `Diagnostic` records — a
+ * severity, a stable rule id (documented in docs/static_analysis.md),
+ * the instruction and ISA concerned, a vendor-manual source location
+ * when one survived canonicalization, and a human-readable message.
+ * `DiagnosticReport` collects them, applies waivers, keeps severity
+ * tallies, and renders text or JSON for the `hydride-verify` CLI.
+ */
+#ifndef HYDRIDE_ANALYSIS_DIAGNOSTICS_H
+#define HYDRIDE_ANALYSIS_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+#include "hir/expr.h"
+
+namespace hydride {
+namespace analysis {
+
+/** Finding severity; only Error makes `hydride-verify` exit non-zero
+ *  (unless --werror promotes warnings). */
+enum class Severity { Note, Warning, Error };
+
+const char *severityName(Severity severity);
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    Severity severity = Severity::Warning;
+    std::string rule;        ///< Stable id, e.g. "WF02".
+    std::string pass;        ///< Pass id, e.g. "wellformed".
+    std::string isa;         ///< Empty when not ISA-specific.
+    std::string instruction; ///< Empty for whole-table findings.
+    SourceLoc loc;           ///< Pseudocode location when known.
+    std::string message;
+
+    /** "error[WF02] x86:_mm_foo (x86:_mm_foo:3): message". */
+    std::string str() const;
+};
+
+/** Suppress findings of `rule` whose instruction name contains
+ *  `instruction_substr` (empty substring = every instruction). */
+struct Waiver
+{
+    std::string rule;
+    std::string instruction_substr;
+};
+
+/** Collects diagnostics with waiver filtering and severity tallies. */
+class DiagnosticReport
+{
+  public:
+    void setWaivers(std::vector<Waiver> waivers);
+
+    /** Record a finding (dropped silently when waived). */
+    void add(Diagnostic diag);
+
+    const std::vector<Diagnostic> &diags() const { return diags_; }
+    int errors() const { return errors_; }
+    int warnings() const { return warnings_; }
+    int notes() const { return notes_; }
+    int suppressed() const { return suppressed_; }
+    bool hasErrors() const { return errors_ > 0; }
+
+    /** Order errors first, then by ISA / instruction / rule. */
+    void sortBySeverity();
+
+    /** One line per finding plus a summary line; `max_diags` 0 = all. */
+    std::string renderText(size_t max_diags = 0) const;
+
+    /** {"diagnostics":[...],"summary":{...}} */
+    std::string renderJson() const;
+
+  private:
+    bool waived(const Diagnostic &diag) const;
+
+    std::vector<Diagnostic> diags_;
+    std::vector<Waiver> waivers_;
+    int errors_ = 0;
+    int warnings_ = 0;
+    int notes_ = 0;
+    int suppressed_ = 0;
+};
+
+} // namespace analysis
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_DIAGNOSTICS_H

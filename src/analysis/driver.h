@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Command-line driver behind the `hydride-verify` tool: loads the
+ * spec database and AutoLLVM dictionary, runs the verifier passes,
+ * renders diagnostics, and maps the result onto an exit status.
+ *
+ * Exit codes: 0 = clean (or warnings without --werror), 1 = errors
+ * found (or warnings with --werror), 2 = usage error.
+ */
+#ifndef HYDRIDE_ANALYSIS_DRIVER_H
+#define HYDRIDE_ANALYSIS_DRIVER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hydride {
+namespace analysis {
+
+/** Run the `hydride-verify` CLI. Arguments exclude argv[0]. */
+int runVerifierCli(const std::vector<std::string> &args, std::ostream &out,
+                   std::ostream &err);
+
+} // namespace analysis
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_DRIVER_H

@@ -1,0 +1,95 @@
+#include "analysis/expr_check.h"
+
+namespace hydride {
+namespace analysis {
+
+namespace {
+
+CheckedInt
+applyChecked(IntBinOp op, const CheckedInt &a, const CheckedInt &b,
+             const Expr *node)
+{
+    int64_t result = 0;
+    switch (op) {
+      case IntBinOp::Add:
+        if (__builtin_add_overflow(a.value, b.value, &result))
+            return {CheckedInt::Status::Overflow, 0, node};
+        return CheckedInt::of(result);
+      case IntBinOp::Sub:
+        if (__builtin_sub_overflow(a.value, b.value, &result))
+            return {CheckedInt::Status::Overflow, 0, node};
+        return CheckedInt::of(result);
+      case IntBinOp::Mul:
+        if (__builtin_mul_overflow(a.value, b.value, &result))
+            return {CheckedInt::Status::Overflow, 0, node};
+        return CheckedInt::of(result);
+      case IntBinOp::Div:
+        if (b.value == 0)
+            return {CheckedInt::Status::DivZero, 0, node};
+        if (a.value == INT64_MIN && b.value == -1)
+            return {CheckedInt::Status::Overflow, 0, node};
+        return CheckedInt::of(a.value / b.value);
+      case IntBinOp::Mod:
+        if (b.value == 0)
+            return {CheckedInt::Status::DivZero, 0, node};
+        if (a.value == INT64_MIN && b.value == -1)
+            return {CheckedInt::Status::Overflow, 0, node};
+        return CheckedInt::of(a.value % b.value);
+      case IntBinOp::Min:
+        return CheckedInt::of(a.value < b.value ? a.value : b.value);
+      case IntBinOp::Max:
+        return CheckedInt::of(a.value > b.value ? a.value : b.value);
+    }
+    return CheckedInt::unknown();
+}
+
+} // namespace
+
+CheckedInt
+checkedEvalInt(const ExprPtr &expr, const CheckEnv &env)
+{
+    if (!expr)
+        return CheckedInt::unknown();
+    switch (expr->kind) {
+      case ExprKind::IntConst:
+        return CheckedInt::of(expr->value);
+      case ExprKind::Param: {
+        if (!env.param_values ||
+            expr->value < 0 ||
+            expr->value >= static_cast<int64_t>(env.param_values->size())) {
+            return CheckedInt::unknown();
+        }
+        return CheckedInt::of((*env.param_values)[expr->value]);
+      }
+      case ExprKind::LoopVar:
+        return CheckedInt::of(expr->value == 0 ? env.loop_i : env.loop_j);
+      case ExprKind::NamedVar:
+        // Integer immediates are bound at call time; unknown here.
+        return CheckedInt::unknown();
+      case ExprKind::IntBin: {
+        const CheckedInt a = checkedEvalInt(expr->kids[0], env);
+        const CheckedInt b = checkedEvalInt(expr->kids[1], env);
+        // A bad operand poisons the whole expression; a constant-zero
+        // denominator is reported even under an unknown numerator.
+        if (a.bad())
+            return a;
+        if (b.bad())
+            return b;
+        const auto op = static_cast<IntBinOp>(expr->value);
+        if ((op == IntBinOp::Div || op == IntBinOp::Mod) && b.ok() &&
+            b.value == 0) {
+            return {CheckedInt::Status::DivZero, 0, expr.get()};
+        }
+        if (!a.ok() || !b.ok())
+            return CheckedInt::unknown();
+        return applyChecked(op, a, b, expr.get());
+      }
+      default:
+        // BV-typed node in Int position: the factories prevent this,
+        // but stay total for hand-built trees.
+        return CheckedInt::unknown();
+    }
+}
+
+} // namespace analysis
+} // namespace hydride

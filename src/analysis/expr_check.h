@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Checked static evaluation over Hydride IR Int expressions, the
+ * shared substrate of the verifier passes.
+ *
+ * Unlike `evalInt` (which asserts on division by zero and silently
+ * wraps on overflow), `checkedEvalInt` is total: it reports division
+ * by a zero denominator and signed 64-bit overflow as explicit
+ * statuses with the offending node attached, and treats quantities
+ * the verifier cannot know statically (integer immediates bound at
+ * call time, synthesis holes) as `Unknown` rather than failing.
+ */
+#ifndef HYDRIDE_ANALYSIS_EXPR_CHECK_H
+#define HYDRIDE_ANALYSIS_EXPR_CHECK_H
+
+#include "hir/semantics.h"
+
+namespace hydride {
+namespace analysis {
+
+/** Outcome of checked integer evaluation. */
+struct CheckedInt
+{
+    enum class Status {
+        Value,    ///< Evaluated to `value`.
+        Unknown,  ///< Depends on an immediate or a hole; not an error.
+        DivZero,  ///< Division/modulo by a zero denominator.
+        Overflow, ///< Signed 64-bit overflow in the arithmetic.
+    };
+
+    Status status = Status::Unknown;
+    int64_t value = 0;
+    const Expr *culprit = nullptr; ///< Offending node (DivZero/Overflow).
+
+    bool ok() const { return status == Status::Value; }
+    bool bad() const
+    {
+        return status == Status::DivZero || status == Status::Overflow;
+    }
+
+    static CheckedInt of(int64_t value)
+    {
+        return {Status::Value, value, nullptr};
+    }
+    static CheckedInt unknown() { return {}; }
+};
+
+/**
+ * Static evaluation environment: concrete parameter values and loop
+ * iterators. Named variables (integer immediates) without an entry in
+ * `named` evaluate to Unknown.
+ */
+struct CheckEnv
+{
+    const std::vector<int64_t> *param_values = nullptr;
+    int64_t loop_i = 0;
+    int64_t loop_j = 0;
+};
+
+/** Overflow-checked partial evaluation of an Int-typed expression. */
+CheckedInt checkedEvalInt(const ExprPtr &expr, const CheckEnv &env);
+
+} // namespace analysis
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_EXPR_CHECK_H

@@ -1,0 +1,611 @@
+#include "analysis/inst_verify.h"
+
+#include "analysis/expr_check.h"
+#include "hir/bitvector.h"
+#include "observability/metrics.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <utility>
+
+namespace hydride {
+namespace analysis {
+
+namespace {
+
+/**
+ * One verification run over a single instruction. Diagnostics are
+ * deduplicated per (rule, node): the (i, j) iteration space revisits
+ * every template node once per lane, but a structural defect should
+ * be reported once.
+ */
+class InstChecker
+{
+  public:
+    InstChecker(const CanonicalSemantics &sem, unsigned rules,
+                const InstVerifyOptions &options, DiagnosticReport &report)
+        : sem_(sem), rules_(rules), options_(options), report_(report),
+          params_(sem.defaultParamValues())
+    {
+        env_.param_values = &params_;
+    }
+
+    void
+    run()
+    {
+        metrics::counter("analysis.verify.instructions").add();
+        checkCounts();
+        checkArgWidths();
+        checkTemplates();
+        if (rules_ & kDeadCode)
+            checkLiveness();
+    }
+
+  private:
+    // ---- Reporting ---------------------------------------------------------
+
+    void
+    emit(Severity severity, const char *rule, const char *pass,
+         const Expr *node, std::string message)
+    {
+        if (node && !dedup_.insert({node, rule}).second)
+            return;
+        Diagnostic diag;
+        diag.severity = severity;
+        diag.rule = rule;
+        diag.pass = pass;
+        diag.isa = sem_.isa;
+        diag.instruction = sem_.name;
+        if (node) {
+            diag.loc = node->loc;
+            if (!diag.loc.known() && !node->kids.empty()) {
+                // Fall back to any location inside the offending tree.
+                for (const auto &kid : node->kids) {
+                    diag.loc = findSourceLoc(kid);
+                    if (diag.loc.known())
+                        break;
+                }
+            }
+        }
+        diag.message = std::move(message);
+        report_.add(std::move(diag));
+    }
+
+    void
+    wf(const char *rule, const Expr *node, std::string message)
+    {
+        if (rules_ & kWellFormed)
+            emit(Severity::Error, rule, "wellformed", node,
+                 std::move(message));
+    }
+
+    void
+    ub(Severity severity, const char *rule, const Expr *node,
+       std::string message)
+    {
+        if (rules_ & kUndefined)
+            emit(severity, rule, "ub", node, std::move(message));
+    }
+
+    void
+    dc(Severity severity, const char *rule, const Expr *node,
+       std::string message)
+    {
+        if (rules_ & kDeadCode)
+            emit(severity, rule, "deadcode", node, std::move(message));
+    }
+
+    // ---- Int helpers -------------------------------------------------------
+
+    /** Evaluate an Int expr, reporting UB02/UB03 when it misbehaves. */
+    CheckedInt
+    evalIdx(const ExprPtr &expr, const char *what)
+    {
+        CheckedInt result = checkedEvalInt(expr, env_);
+        if (result.status == CheckedInt::Status::DivZero) {
+            ub(Severity::Error, "UB02", result.culprit,
+               std::string(what) + " divides by a constant zero");
+        } else if (result.status == CheckedInt::Status::Overflow) {
+            ub(Severity::Error, "UB03", result.culprit,
+               std::string(what) + " overflows signed 64-bit arithmetic");
+        }
+        return result;
+    }
+
+    // ---- Top-level structure -----------------------------------------------
+
+    void
+    checkCounts()
+    {
+        outer_ = evalIdx(sem_.outer_count, "outer loop count");
+        inner_ = evalIdx(sem_.inner_count, "inner loop count");
+        elem_width_ = evalIdx(sem_.elem_width, "element width");
+
+        checkPositive(outer_, sem_.outer_count.get(), "outer loop count");
+        checkPositive(inner_, sem_.inner_count.get(), "inner loop count");
+        checkPositive(elem_width_, sem_.elem_width.get(), "element width");
+
+        if (outer_.ok() && inner_.ok() && elem_width_.ok()) {
+            const int64_t total =
+                outer_.value * inner_.value * elem_width_.value;
+            if (total > BitVector::kMaxWidth) {
+                wf("WF08", sem_.elem_width.get(),
+                   "output width " + std::to_string(total) +
+                       " exceeds the " +
+                       std::to_string(BitVector::kMaxWidth) +
+                       "-bit BitVector limit");
+            }
+        }
+
+        // Template count vs. selector mode (DC04): an under-provisioned
+        // table crashes evaluation, an over-provisioned one means some
+        // templates can never be selected.
+        const int64_t tcount = static_cast<int64_t>(sem_.templates.size());
+        if (tcount == 0) {
+            wf("WF06", nullptr, "instruction has no templates");
+            return;
+        }
+        switch (sem_.mode) {
+          case TemplateMode::Uniform:
+            if (tcount != 1) {
+                dc(Severity::Warning, "DC04", sem_.templates[1].get(),
+                   "Uniform mode with " + std::to_string(tcount) +
+                       " templates; all but the first are unreachable");
+            }
+            break;
+          case TemplateMode::ByInner:
+            checkSelector(tcount, inner_, "inner count");
+            break;
+          case TemplateMode::ByOuter:
+            checkSelector(tcount, outer_, "outer count");
+            break;
+        }
+    }
+
+    void
+    checkSelector(int64_t tcount, const CheckedInt &count, const char *what)
+    {
+        if (!count.ok())
+            return;
+        if (count.value > tcount) {
+            dc(Severity::Error, "DC04", nullptr,
+               std::string(what) + " " + std::to_string(count.value) +
+                   " exceeds the " + std::to_string(tcount) +
+                   "-entry template table (evaluation would fail)");
+        } else if (count.value < tcount) {
+            dc(Severity::Warning, "DC04", nullptr,
+               std::to_string(tcount - count.value) +
+                   " template(s) beyond the " + what + " of " +
+                   std::to_string(count.value) + " are unreachable");
+        }
+    }
+
+    void
+    checkPositive(const CheckedInt &value, const Expr *node, const char *what)
+    {
+        if (value.ok() && value.value < 1) {
+            wf("WF03", node,
+               std::string(what) + " is " + std::to_string(value.value) +
+                   " (must be >= 1)");
+        }
+    }
+
+    void
+    checkArgWidths()
+    {
+        arg_widths_.clear();
+        for (size_t a = 0; a < sem_.bv_args.size(); ++a) {
+            const CheckedInt w = evalIdx(sem_.bv_args[a].width,
+                                         "argument width");
+            checkPositive(w, sem_.bv_args[a].width.get(), "argument width");
+            if (w.ok() && w.value > BitVector::kMaxWidth) {
+                wf("WF08", sem_.bv_args[a].width.get(),
+                   "argument `" + sem_.bv_args[a].name + "` width " +
+                       std::to_string(w.value) + " exceeds the BitVector limit");
+            }
+            arg_widths_.push_back(w);
+        }
+    }
+
+    // ---- Per-(i, j) template checks ---------------------------------------
+
+    void
+    checkTemplates()
+    {
+        if (!outer_.ok() || !inner_.ok())
+            return;
+        if (options_.pedantic && (rules_ & kDeadCode)) {
+            arg_read_.assign(sem_.bv_args.size(), {});
+            for (size_t a = 0; a < sem_.bv_args.size(); ++a)
+                if (arg_widths_[a].ok() && arg_widths_[a].value > 0 &&
+                    arg_widths_[a].value <= BitVector::kMaxWidth)
+                    arg_read_[a].assign(arg_widths_[a].value, false);
+        }
+
+        const int64_t outer = outer_.value;
+        const int64_t inner = inner_.value;
+        const int64_t cap = options_.max_outer_iters;
+        for (int64_t i = 0; i < outer; ++i) {
+            // Cap the lane enumeration but always check the last lane,
+            // where out-of-bounds extracts typically surface.
+            if (cap > 0 && i >= cap && i != outer - 1)
+                continue;
+            for (int64_t j = 0; j < inner; ++j) {
+                const ExprPtr *tmpl = nullptr;
+                switch (sem_.mode) {
+                  case TemplateMode::Uniform:
+                    tmpl = &sem_.templates[0];
+                    break;
+                  case TemplateMode::ByInner:
+                    if (j >= static_cast<int64_t>(sem_.templates.size()))
+                        continue; // DC04 already reported.
+                    tmpl = &sem_.templates[j];
+                    break;
+                  case TemplateMode::ByOuter:
+                    if (i >= static_cast<int64_t>(sem_.templates.size()))
+                        continue;
+                    tmpl = &sem_.templates[i];
+                    break;
+                }
+                env_.loop_i = i;
+                env_.loop_j = j;
+                const CheckedInt w = widthOf(*tmpl);
+                if (w.ok() && elem_width_.ok() && w.value != elem_width_.value) {
+                    wf("WF07", tmpl->get(),
+                       "template produces " + std::to_string(w.value) +
+                           " bits but the declared element width is " +
+                           std::to_string(elem_width_.value));
+                }
+            }
+        }
+    }
+
+    /**
+     * Infer the concrete width of a BV-typed node under the current
+     * (i, j), enforcing the operator contracts of expr.h along the
+     * way. Unknown widths (immediate-dependent, holes) propagate
+     * without complaint.
+     */
+    CheckedInt
+    widthOf(const ExprPtr &expr)
+    {
+        const Expr *node = expr.get();
+        switch (expr->kind) {
+          case ExprKind::ArgBV: {
+            const int64_t index = expr->value;
+            if (index < 0 ||
+                index >= static_cast<int64_t>(sem_.bv_args.size())) {
+                wf("WF09", node,
+                   "argument index " + std::to_string(index) +
+                       " out of range (instruction has " +
+                       std::to_string(sem_.bv_args.size()) + " arguments)");
+                return CheckedInt::unknown();
+            }
+            return arg_widths_[index];
+          }
+          case ExprKind::BVConst: {
+            const CheckedInt w = evalIdx(expr->kids[0], "constant width");
+            checkWidthValue(w, node, "constant");
+            return w;
+          }
+          case ExprKind::BVBin: {
+            const CheckedInt a = widthOf(expr->kids[0]);
+            const CheckedInt b = widthOf(expr->kids[1]);
+            if (a.ok() && b.ok() && a.value != b.value) {
+                wf("WF01", node,
+                   std::string(bvBinOpName(
+                       static_cast<BVBinOp>(expr->value))) +
+                       " operand widths differ: " + std::to_string(a.value) +
+                       " vs " + std::to_string(b.value));
+            }
+            checkShift(expr, a);
+            checkBVDiv(expr);
+            return a.ok() ? a : b;
+          }
+          case ExprKind::BVUn:
+            return widthOf(expr->kids[0]);
+          case ExprKind::BVCast: {
+            const CheckedInt src = widthOf(expr->kids[0]);
+            const CheckedInt dst = evalIdx(expr->kids[1], "cast width");
+            checkWidthValue(dst, node, "cast target");
+            if (src.ok() && dst.ok()) {
+                const auto op = static_cast<BVCastOp>(expr->value);
+                const bool widening =
+                    op == BVCastOp::SExt || op == BVCastOp::ZExt;
+                if (widening && dst.value < src.value) {
+                    wf("WF05", node,
+                       std::string(bvCastOpName(op)) + " narrows from " +
+                           std::to_string(src.value) + " to " +
+                           std::to_string(dst.value) + " bits");
+                } else if (!widening && dst.value > src.value) {
+                    wf("WF05", node,
+                       std::string(bvCastOpName(op)) + " widens from " +
+                           std::to_string(src.value) + " to " +
+                           std::to_string(dst.value) + " bits");
+                }
+            }
+            return dst;
+          }
+          case ExprKind::Extract: {
+            const CheckedInt base = widthOf(expr->kids[0]);
+            const CheckedInt low = evalIdx(expr->kids[1], "extract low index");
+            const CheckedInt width = evalIdx(expr->kids[2], "extract width");
+            checkWidthValue(width, node, "extract");
+            if (low.ok() && low.value < 0) {
+                wf("WF02", node,
+                   "extract low index " + std::to_string(low.value) +
+                       " is negative");
+            }
+            if (base.ok() && low.ok() && width.ok() && low.value >= 0 &&
+                width.value >= 1 && low.value + width.value > base.value) {
+                wf("WF02", node,
+                   "extract of bits [" + std::to_string(low.value) + ", " +
+                       std::to_string(low.value + width.value) +
+                       ") exceeds the " + std::to_string(base.value) +
+                       "-bit operand");
+            }
+            recordRead(expr->kids[0], low, width, base);
+            return width;
+          }
+          case ExprKind::Concat: {
+            const CheckedInt a = widthOf(expr->kids[0]);
+            const CheckedInt b = widthOf(expr->kids[1]);
+            if (a.ok() && b.ok()) {
+                const int64_t total = a.value + b.value;
+                if (total > BitVector::kMaxWidth) {
+                    wf("WF08", node,
+                       "concat width " + std::to_string(total) +
+                           " exceeds the BitVector limit");
+                }
+                return CheckedInt::of(total);
+            }
+            return CheckedInt::unknown();
+          }
+          case ExprKind::BVCmp: {
+            const CheckedInt a = widthOf(expr->kids[0]);
+            const CheckedInt b = widthOf(expr->kids[1]);
+            if (a.ok() && b.ok() && a.value != b.value) {
+                wf("WF01", node,
+                   "comparison operand widths differ: " +
+                       std::to_string(a.value) + " vs " +
+                       std::to_string(b.value));
+            }
+            return CheckedInt::of(1);
+          }
+          case ExprKind::Select: {
+            const CheckedInt cond = widthOf(expr->kids[0]);
+            if (cond.ok() && cond.value != 1) {
+                wf("WF04", node,
+                   "select condition is " + std::to_string(cond.value) +
+                       " bits wide (must be 1)");
+            }
+            const CheckedInt a = widthOf(expr->kids[1]);
+            const CheckedInt b = widthOf(expr->kids[2]);
+            if (a.ok() && b.ok() && a.value != b.value) {
+                wf("WF01", node,
+                   "select branch widths differ: " + std::to_string(a.value) +
+                       " vs " + std::to_string(b.value));
+            }
+            return a.ok() ? a : b;
+          }
+          case ExprKind::Hole:
+            return CheckedInt::unknown();
+          default:
+            // Int-typed node in BV position.
+            wf("WF06", node, "integer-typed node used as a bitvector");
+            return CheckedInt::unknown();
+        }
+    }
+
+    void
+    checkWidthValue(const CheckedInt &w, const Expr *node, const char *what)
+    {
+        if (w.ok() && w.value < 1) {
+            wf("WF03", node,
+               std::string(what) + " width is " + std::to_string(w.value) +
+                   " (must be >= 1)");
+        }
+        if (w.ok() && w.value > BitVector::kMaxWidth) {
+            wf("WF08", node,
+               std::string(what) + " width " + std::to_string(w.value) +
+                   " exceeds the BitVector limit");
+        }
+    }
+
+    /** UB01: shift amount provably >= the shifted operand's width. */
+    void
+    checkShift(const ExprPtr &expr, const CheckedInt &operand_width)
+    {
+        const auto op = static_cast<BVBinOp>(expr->value);
+        if (op != BVBinOp::Shl && op != BVBinOp::LShr && op != BVBinOp::AShr)
+            return;
+        const ExprPtr &amount = expr->kids[1];
+        if (amount->kind != ExprKind::BVConst)
+            return;
+        const CheckedInt value = checkedEvalInt(amount->kids[1], env_);
+        if (value.ok() && operand_width.ok() &&
+            (value.value >= operand_width.value || value.value < 0)) {
+            ub(Severity::Warning, "UB01", expr.get(),
+               std::string(bvBinOpName(op)) + " by constant " +
+                   std::to_string(value.value) + " shifts out every bit of a " +
+                   std::to_string(operand_width.value) + "-bit value");
+        }
+    }
+
+    /** UB04: bitvector division by a constant zero (defined as
+     *  all-ones by SMT-LIB, but a strong spec-bug signal). */
+    void
+    checkBVDiv(const ExprPtr &expr)
+    {
+        const auto op = static_cast<BVBinOp>(expr->value);
+        if (op != BVBinOp::UDiv && op != BVBinOp::URem)
+            return;
+        const ExprPtr &den = expr->kids[1];
+        if (den->kind != ExprKind::BVConst)
+            return;
+        const CheckedInt value = checkedEvalInt(den->kids[1], env_);
+        if (value.ok() && value.value == 0) {
+            ub(Severity::Warning, "UB04", expr.get(),
+               std::string(bvBinOpName(op)) +
+                   " by a constant-zero bitvector (defined as all-ones, "
+                   "almost certainly unintended)");
+        }
+    }
+
+    /** Track which input bits the templates read (pedantic DC05). */
+    void
+    recordRead(const ExprPtr &base, const CheckedInt &low,
+               const CheckedInt &width, const CheckedInt &base_width)
+    {
+        if (arg_read_.empty() || base->kind != ExprKind::ArgBV)
+            return;
+        const int64_t index = base->value;
+        if (index < 0 || index >= static_cast<int64_t>(arg_read_.size()))
+            return;
+        auto &bits = arg_read_[index];
+        if (bits.empty())
+            return;
+        if (!low.ok() || !width.ok()) {
+            // Unknown range: assume the whole argument is live.
+            bits.assign(bits.size(), true);
+            return;
+        }
+        (void)base_width;
+        for (int64_t b = low.value;
+             b < low.value + width.value &&
+             b < static_cast<int64_t>(bits.size());
+             ++b) {
+            if (b >= 0)
+                bits[b] = true;
+        }
+    }
+
+    // ---- Liveness ----------------------------------------------------------
+
+    void
+    checkLiveness()
+    {
+        std::vector<ExprPtr> nodes;
+        for (const auto &tmpl : sem_.templates)
+            collectNodes(tmpl, nodes);
+        // Quantities referenced outside the templates (loop counts,
+        // widths) keep parameters alive but not arguments: an argument
+        // only matters if an element template can read it.
+        std::vector<ExprPtr> structural;
+        collectNodes(sem_.outer_count, structural);
+        collectNodes(sem_.inner_count, structural);
+        collectNodes(sem_.elem_width, structural);
+        for (const auto &arg : sem_.bv_args)
+            collectNodes(arg.width, structural);
+
+        std::set<int64_t> used_args;
+        std::set<int64_t> used_params;
+        std::set<std::string> used_named;
+        auto scan = [&](const std::vector<ExprPtr> &list, bool args_count) {
+            for (const auto &node : list) {
+                if (node->kind == ExprKind::ArgBV && args_count)
+                    used_args.insert(node->value);
+                else if (node->kind == ExprKind::Param)
+                    used_params.insert(node->value);
+                else if (node->kind == ExprKind::NamedVar)
+                    used_named.insert(node->name);
+            }
+        };
+        scan(nodes, true);
+        scan(structural, false);
+
+        for (size_t a = 0; a < sem_.bv_args.size(); ++a) {
+            if (!used_args.count(static_cast<int64_t>(a))) {
+                dc(Severity::Warning, "DC01", nullptr,
+                   "bitvector argument `" + sem_.bv_args[a].name +
+                       "` never influences the output");
+            }
+        }
+        for (size_t p = 0; p < sem_.params.size(); ++p) {
+            if (!used_params.count(static_cast<int64_t>(p))) {
+                dc(Severity::Warning, "DC02", nullptr,
+                   "parameter `" + sem_.params[p].name +
+                       "` is never referenced");
+            }
+        }
+        for (const auto &imm : sem_.int_args) {
+            if (!used_named.count(imm)) {
+                dc(Severity::Warning, "DC03", nullptr,
+                   "integer immediate `" + imm + "` is never referenced");
+            }
+        }
+        // Unbound named variables: at canonical level every NamedVar
+        // must be a declared immediate.
+        for (const auto &node : nodes) {
+            if (node->kind != ExprKind::NamedVar)
+                continue;
+            bool declared = false;
+            for (const auto &imm : sem_.int_args)
+                declared |= imm == node->name;
+            if (!declared) {
+                wf("WF06", node.get(),
+                   "named variable `" + node->name +
+                       "` is not a declared immediate");
+            }
+        }
+
+        if (options_.pedantic) {
+            for (size_t a = 0; a < arg_read_.size(); ++a) {
+                const auto &bits = arg_read_[a];
+                if (bits.empty() ||
+                    !used_args.count(static_cast<int64_t>(a)))
+                    continue;
+                int64_t unread = 0;
+                for (bool b : bits)
+                    unread += b ? 0 : 1;
+                if (unread > 0) {
+                    dc(Severity::Note, "DC05", nullptr,
+                       "argument `" + sem_.bv_args[a].name + "`: " +
+                           std::to_string(unread) + " of " +
+                           std::to_string(bits.size()) +
+                           " input bits are never read");
+                }
+            }
+        }
+    }
+
+    const CanonicalSemantics &sem_;
+    const unsigned rules_;
+    const InstVerifyOptions &options_;
+    DiagnosticReport &report_;
+    std::vector<int64_t> params_;
+    CheckEnv env_;
+    CheckedInt outer_;
+    CheckedInt inner_;
+    CheckedInt elem_width_;
+    std::vector<CheckedInt> arg_widths_;
+    /** Per-argument read bitmap (pedantic DC05 only). */
+    std::vector<std::vector<bool>> arg_read_;
+    std::set<std::pair<const Expr *, const char *>> dedup_;
+};
+
+} // namespace
+
+void
+verifyInstruction(const CanonicalSemantics &sem, unsigned rules,
+                  const InstVerifyOptions &options, DiagnosticReport &report)
+{
+    InstChecker(sem, rules, options, report).run();
+}
+
+bool
+loadTimeVerifyEnabled()
+{
+    const char *env = std::getenv("HYDRIDE_VERIFY");
+    if (env && *env)
+        return std::strcmp(env, "0") != 0;
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+} // namespace analysis
+} // namespace hydride

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-instruction semantic verification of canonicalized Hydride IR
+ * (the "cheap" verifier passes; see docs/static_analysis.md for the
+ * rule catalogue).
+ *
+ * Three rule families run over one `CanonicalSemantics` at a time:
+ *
+ *  - WF (well-formedness): operand widths match operator contracts,
+ *    extracts and concats stay in bounds, no zero-width values, loop
+ *    counts are positive, template widths agree with the declared
+ *    element width, argument/parameter indices are in range.
+ *  - UB (undefined behaviour): shift amounts provably >= the operand
+ *    width, division by a constant-zero denominator, signed 64-bit
+ *    overflow in index arithmetic.
+ *  - DC (dead code): bitvector arguments, numerical parameters, and
+ *    integer immediates that never influence the output; template
+ *    counts inconsistent with the selector mode (unreachable or
+ *    missing templates); optionally (pedantic) input bits no template
+ *    ever reads.
+ *
+ * Checks are static: widths and indices are evaluated under the
+ * default parameter values across every (lane, element) iteration,
+ * which makes "provably" concrete without running the semantics.
+ * These passes have no dependencies beyond the HIR, so `SpecDB` runs
+ * them at load time as debug-mode assertions (`loadTimeVerifyEnabled`).
+ */
+#ifndef HYDRIDE_ANALYSIS_INST_VERIFY_H
+#define HYDRIDE_ANALYSIS_INST_VERIFY_H
+
+#include "analysis/diagnostics.h"
+#include "hir/semantics.h"
+
+namespace hydride {
+namespace analysis {
+
+/** Rule families; OR them to select what verifyInstruction runs. */
+enum InstRuleSet : unsigned {
+    kWellFormed = 1u << 0, ///< WF rules.
+    kUndefined = 1u << 1,  ///< UB rules.
+    kDeadCode = 1u << 2,   ///< DC rules.
+    kAllInstRules = kWellFormed | kUndefined | kDeadCode,
+};
+
+/** Knobs for the per-instruction passes. */
+struct InstVerifyOptions
+{
+    /** Emit DC05 input-bit-coverage notes (noisy on legitimate
+     *  partial-read instructions; off by default). */
+    bool pedantic = false;
+    /** Cap on enumerated outer-loop lanes per instruction; the last
+     *  lane is always checked so boundary extracts stay covered. */
+    int max_outer_iters = 256;
+};
+
+/** Run the selected rule families over one canonicalized semantics. */
+void verifyInstruction(const CanonicalSemantics &sem, unsigned rules,
+                       const InstVerifyOptions &options,
+                       DiagnosticReport &report);
+
+/**
+ * True when SpecDB should verify each instruction after
+ * canonicalization: HYDRIDE_VERIFY=1 forces on, HYDRIDE_VERIFY=0
+ * forces off, and unset defaults to on in debug (!NDEBUG) builds.
+ */
+bool loadTimeVerifyEnabled();
+
+} // namespace analysis
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_INST_VERIFY_H

@@ -1,0 +1,152 @@
+#include "analysis/mutate.h"
+
+namespace hydride {
+namespace analysis {
+
+const std::vector<MutationInfo> &
+allMutations()
+{
+    static const std::vector<MutationInfo> mutations = {
+        {"flip-width", "WF07",
+         "double the declared element width so templates no longer match",
+         false},
+        {"extract-oob", "WF02",
+         "re-extract the first template past the end of its source", false},
+        {"shift-oob", "UB01",
+         "left-shift the first template by its own full width", false},
+        {"div-zero", "UB02",
+         "divide the element width by constant zero", false},
+        {"dead-arg", "DC01",
+         "append a bitvector argument no template reads", false},
+        {"template-count", "DC04",
+         "append an unreachable duplicate template in Uniform mode", false},
+        {"dangling-name", "XT01",
+         "rename a class member so it matches no spec instruction", true},
+        {"dup-lowering", "XT03",
+         "duplicate a class member, making 1-1 lowering ambiguous", true},
+        {"drop-lowering", "XT07",
+         "remove a class member so its instruction has no dictionary entry",
+         true},
+    };
+    return mutations;
+}
+
+const MutationInfo *
+findMutation(const std::string &kind)
+{
+    for (const MutationInfo &m : allMutations())
+        if (m.kind == kind)
+            return &m;
+    return nullptr;
+}
+
+namespace {
+
+/** Deterministic victim pick: mid-table keeps the choice stable while
+ *  avoiding any special first/last entries. */
+template <typename T>
+T &
+midPick(std::vector<T> &v)
+{
+    return v[v.size() / 2];
+}
+
+} // namespace
+
+std::string
+mutateSemantics(IsaSemantics &sema, const std::string &kind)
+{
+    const MutationInfo *info = findMutation(kind);
+    if (!info || info->on_dict || sema.insts.empty())
+        return {};
+
+    // Find an eligible victim near mid-table: needs a template, and
+    // for dead-arg the liveness check must see the original args.
+    const size_t start = sema.insts.size() / 2;
+    for (size_t probe = 0; probe < sema.insts.size(); ++probe) {
+        CanonicalSemantics &inst =
+            sema.insts[(start + probe) % sema.insts.size()];
+        if (inst.templates.empty() || !inst.elem_width)
+            continue;
+
+        if (kind == "flip-width") {
+            inst.elem_width =
+                intBin(IntBinOp::Mul, inst.elem_width, intConst(2));
+            return inst.name;
+        }
+        if (kind == "extract-oob") {
+            // extract(t, elem_width, elem_width): starts one past the
+            // last bit of the elem_width-wide template value.
+            inst.templates[0] = extract(inst.templates[0], inst.elem_width,
+                                        inst.elem_width);
+            return inst.name;
+        }
+        if (kind == "shift-oob") {
+            // Shift an elem_width-wide value by elem_width bits.
+            inst.templates[0] =
+                bvBin(BVBinOp::Shl, inst.templates[0],
+                      bvConst(inst.elem_width, inst.elem_width));
+            return inst.name;
+        }
+        if (kind == "div-zero") {
+            inst.elem_width =
+                intBin(IntBinOp::Div, inst.elem_width, intConst(0));
+            return inst.name;
+        }
+        if (kind == "dead-arg") {
+            inst.bv_args.push_back({"__mut_dead", intConst(8)});
+            return inst.name;
+        }
+        if (kind == "template-count") {
+            if (inst.mode != TemplateMode::Uniform ||
+                inst.templates.size() != 1)
+                continue;
+            inst.templates.push_back(inst.templates[0]);
+            return inst.name;
+        }
+        return {};
+    }
+    return {};
+}
+
+std::string
+mutateClasses(std::vector<EquivalenceClass> &classes,
+              const std::string &kind)
+{
+    const MutationInfo *info = findMutation(kind);
+    if (!info || !info->on_dict || classes.empty())
+        return {};
+
+    const size_t start = classes.size() / 2;
+    for (size_t probe = 0; probe < classes.size(); ++probe) {
+        EquivalenceClass &cls = classes[(start + probe) % classes.size()];
+        if (cls.members.empty())
+            continue;
+
+        if (kind == "dangling-name") {
+            ClassMember &victim = midPick(cls.members);
+            const std::string original = victim.name;
+            victim.name = "__mut_" + victim.name;
+            return original;
+        }
+        if (kind == "dup-lowering") {
+            cls.members.push_back(midPick(cls.members));
+            return cls.members.back().name;
+        }
+        if (kind == "drop-lowering") {
+            // Only classes with >1 member: removing the sole member
+            // would leave an empty class, a different defect.
+            if (cls.members.size() < 2)
+                continue;
+            const std::string victim = midPick(cls.members).name;
+            cls.members.erase(cls.members.begin() +
+                              static_cast<long>(cls.members.size() / 2));
+            return victim;
+        }
+        return {};
+    }
+    return {};
+}
+
+} // namespace analysis
+} // namespace hydride

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Seeded-mutation support for verifier self-testing.
+ *
+ * Each mutation injects one specific defect class into an otherwise
+ * clean spec database or AutoLLVM dictionary and names the rule the
+ * verifier must report for it. `hydride-verify --mutate <kind>` uses
+ * this to demonstrate (and `--self-test` to assert) that every defect
+ * class is actually caught — the negative half of the verifier's own
+ * test story.
+ */
+#ifndef HYDRIDE_ANALYSIS_MUTATE_H
+#define HYDRIDE_ANALYSIS_MUTATE_H
+
+#include <string>
+#include <vector>
+
+#include "similarity/engine.h"
+#include "specs/spec_db.h"
+
+namespace hydride {
+namespace analysis {
+
+/** One seedable defect. */
+struct MutationInfo
+{
+    std::string kind;          ///< CLI name, e.g. "flip-width".
+    std::string expected_rule; ///< Rule id the verifier must emit.
+    std::string description;
+    bool on_dict = false; ///< Mutates dictionary classes, not specs.
+};
+
+/** All known mutations. */
+const std::vector<MutationInfo> &allMutations();
+
+/** Look up by kind; nullptr if unknown. */
+const MutationInfo *findMutation(const std::string &kind);
+
+/**
+ * Apply a spec mutation to one instruction of `sema` (a deterministic
+ * mid-table pick). Returns the name of the mutated instruction; empty
+ * if the mutation does not apply to spec semantics or no instruction
+ * is eligible.
+ */
+std::string mutateSemantics(IsaSemantics &sema, const std::string &kind);
+
+/**
+ * Apply a dictionary mutation to `classes` (mutate, then rebuild the
+ * AutoLLVMDict from the result). Returns the affected instruction
+ * name; empty if the mutation does not apply or nothing was eligible.
+ */
+std::string mutateClasses(std::vector<EquivalenceClass> &classes,
+                          const std::string &kind);
+
+} // namespace analysis
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_MUTATE_H

@@ -1,0 +1,360 @@
+#include "analysis/verifier.h"
+
+#include "codegen/macro_expand.h"
+#include "halide/hexpr.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+#include "support/strings.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hydride {
+namespace analysis {
+
+const std::vector<PassInfo> &
+verifierPasses()
+{
+    static const std::vector<PassInfo> passes = {
+        {"wellformed", "bitwidth/type well-formedness", "WF01..WF09", false},
+        {"ub", "undefined-behaviour detection", "UB01..UB04", false},
+        {"deadcode", "dead operands / unreachable templates", "DC01..DC05",
+         false},
+        {"crosstable", "AutoLLVM / lowering-table consistency",
+         "XT01..XT09", true},
+    };
+    return passes;
+}
+
+bool
+VerifierOptions::runsPass(const std::string &id) const
+{
+    if (pass_ids.empty())
+        return true;
+    return std::find(pass_ids.begin(), pass_ids.end(), id) != pass_ids.end();
+}
+
+namespace {
+
+Diagnostic
+tableDiag(Severity severity, const char *rule, const std::string &isa,
+          const std::string &instruction, std::string message)
+{
+    Diagnostic diag;
+    diag.severity = severity;
+    diag.rule = rule;
+    diag.pass = "crosstable";
+    diag.isa = isa;
+    diag.instruction = instruction;
+    diag.message = std::move(message);
+    return diag;
+}
+
+std::string
+paramsText(const std::vector<int64_t> &values)
+{
+    std::vector<std::string> parts;
+    parts.reserve(values.size());
+    for (int64_t v : values)
+        parts.push_back(std::to_string(v));
+    return "[" + join(parts, ",") + "]";
+}
+
+/** The XT pass: dictionary, lowering-table and fallback consistency. */
+void
+runCrossTablePass(const VerifyInput &input, const VerifierOptions &options,
+                  DiagnosticReport &report)
+{
+    const AutoLLVMDict &dict = *input.dict;
+    trace::TraceSpan span("analysis.pass.crosstable");
+
+    // Ground truth: the instruction names the spec DB derived.
+    std::map<std::string, std::set<std::string>> spec_names;
+    for (const IsaSemantics *sema : input.isas)
+        for (const auto &inst : sema->insts)
+            spec_names[sema->isa].insert(inst.name);
+
+    for (int c = 0; c < dict.classCount(); ++c) {
+        const EquivalenceClass &cls = dict.cls(c);
+        const std::string &cname = dict.className(c);
+        const size_t rep_params = cls.rep.params.size();
+        const size_t rep_args = cls.rep.bv_args.size();
+        std::set<std::pair<std::string, std::vector<int64_t>>> seen;
+
+        for (const ClassMember &member : cls.members) {
+            // XT01: dangling intrinsic name — the member does not
+            // correspond to any derived spec instruction.
+            auto isa_it = spec_names.find(member.isa);
+            if (isa_it != spec_names.end() &&
+                !isa_it->second.count(member.name)) {
+                report.add(tableDiag(
+                    Severity::Error, "XT01", member.isa, member.name,
+                    cname + " member does not exist in the " + member.isa +
+                        " spec DB"));
+            }
+            // XT02: the instruction-to-class index disagrees (the
+            // instruction was claimed by several classes).
+            const int mapped = dict.classOfInstruction(member.name);
+            if (mapped != c) {
+                report.add(tableDiag(
+                    Severity::Error, "XT02", member.isa, member.name,
+                    "instruction is a member of " + cname +
+                        " but the dictionary index maps it to " +
+                        (mapped < 0 ? std::string("no class")
+                                    : dict.className(mapped))));
+            }
+            // XT09: parameter assignment shape mismatch.
+            if (member.param_values.size() != rep_params) {
+                report.add(tableDiag(
+                    Severity::Error, "XT09", member.isa, member.name,
+                    cname + " member carries " +
+                        std::to_string(member.param_values.size()) +
+                        " parameter values, the representative has " +
+                        std::to_string(rep_params)));
+            }
+            // XT08: argument permutation must be a permutation of the
+            // representative's argument positions.
+            if (!member.arg_perm.empty()) {
+                std::vector<bool> hit(rep_args, false);
+                bool valid = member.arg_perm.size() == rep_args;
+                for (int p : member.arg_perm) {
+                    if (p < 0 || p >= static_cast<int>(rep_args) || hit[p]) {
+                        valid = false;
+                        break;
+                    }
+                    hit[p] = true;
+                }
+                if (!valid) {
+                    report.add(tableDiag(
+                        Severity::Error, "XT08", member.isa, member.name,
+                        "argument permutation is not a valid permutation of " +
+                            std::to_string(rep_args) + " positions"));
+                }
+            }
+            // XT03: duplicated lowering entry — the *same* instruction
+            // listed twice with one parameter assignment. Distinct
+            // instructions sharing (ISA, parameters) are fine: vendor
+            // manuals define type-only aliases (vand_s16 / vand_u16 /
+            // ...) whose semantics the similarity engine already
+            // proved interchangeable, so the selector's pick among
+            // them is arbitrary but correct.
+            if (!seen.insert({member.isa + "\x1f" + member.name,
+                              member.param_values})
+                     .second) {
+                report.add(tableDiag(
+                    Severity::Error, "XT03", member.isa, member.name,
+                    cname + " lists " + member.name +
+                        " twice with parameters " +
+                        paramsText(member.param_values) +
+                        "; the lowering table entry is duplicated"));
+            }
+        }
+
+        // XT04/XT05: every variant must lower to its own ISA, and the
+        // lowered program must be well-formed.
+        for (size_t m = 0; m < cls.members.size(); ++m) {
+            const ClassMember &member = cls.members[m];
+            // A mis-shaped parameter vector (XT09, reported above)
+            // would crash the width evaluation below; don't probe it.
+            if (member.param_values.size() != rep_params)
+                continue;
+            AutoModule module;
+            AutoInst call;
+            call.op = {c, static_cast<int>(m)};
+            for (size_t a = 0; a < rep_args; ++a) {
+                module.input_widths.push_back(
+                    cls.rep.argWidth(static_cast<int>(a),
+                                     member.param_values));
+                call.args.push_back(ValueRef::input(static_cast<int>(a)));
+            }
+            call.int_args.assign(cls.rep.int_args.size(), 0);
+            module.insts.push_back(std::move(call));
+            const LoweringResult lowered =
+                lowerToTarget(module, dict, member.isa);
+            if (!lowered.ok) {
+                report.add(tableDiag(
+                    Severity::Error, "XT04", member.isa, member.name,
+                    cname + " variant has no 1-1 lowering to its own ISA: " +
+                        lowered.error));
+                continue;
+            }
+            verifyTargetProgram(lowered.program, &dict, report);
+        }
+
+        // Run the per-instruction rules over the symbolic
+        // representative too: class merging and constant extraction
+        // must not have produced a malformed semantics.
+        CanonicalSemantics rep = cls.rep;
+        if (rep.name.empty())
+            rep.name = cname;
+        verifyInstruction(rep, kWellFormed | kUndefined, options.inst,
+                          report);
+    }
+
+    // XT07: dropped lowering entry — a derived spec instruction that
+    // no AutoLLVM class claims can never be emitted or lowered.
+    for (const IsaSemantics *sema : input.isas) {
+        for (const auto &inst : sema->insts) {
+            if (dict.classOfInstruction(inst.name) < 0) {
+                report.add(tableDiag(
+                    Severity::Error, "XT07", sema->isa, inst.name,
+                    "instruction has no AutoLLVM dictionary entry "
+                    "(dropped lowering entry)"));
+            }
+        }
+    }
+
+    // XT06: the macro-expansion fallback must cover basic lane
+    // arithmetic on every ingested ISA, and its output must be
+    // well-formed. A hole here means synthesis failures on that ISA
+    // have no fallback path.
+    for (const IsaSemantics *sema : input.isas) {
+        auto bits_it = options.vector_bits.find(sema->isa);
+        if (bits_it == options.vector_bits.end())
+            continue;
+        const int vector_bits = bits_it->second;
+        MacroExpander expander(dict, sema->isa, vector_bits);
+        for (int ew : {8, 16, 32}) {
+            const int lanes = vector_bits / ew;
+            const HExprPtr window =
+                hBin(HOp::Add, hInput(0, ew, lanes), hInput(1, ew, lanes));
+            ExpandResult expanded = expander.expand(window);
+            if (!expanded.ok) {
+                report.add(tableDiag(
+                    Severity::Warning, "XT06", sema->isa, "",
+                    "macro-expansion fallback cannot lower a " +
+                        std::to_string(ew) + "-bit lane add: " +
+                        expanded.error));
+                continue;
+            }
+            verifyTargetProgram(expanded.program, &dict, report);
+        }
+    }
+}
+
+} // namespace
+
+void
+verifyTargetProgram(const TargetProgram &program, const AutoLLVMDict *dict,
+                    DiagnosticReport &report)
+{
+    auto bad = [&](const std::string &instruction, std::string message) {
+        report.add(tableDiag(Severity::Error, "XT05", program.isa,
+                             instruction, std::move(message)));
+    };
+    auto checkRef = [&](const ValueRef &ref, size_t position,
+                        const std::string &instruction) {
+        switch (ref.kind) {
+          case ValueRef::Input:
+            if (ref.index < 0 ||
+                ref.index >= static_cast<int>(program.input_widths.size()))
+                bad(instruction,
+                    "operand references input " + std::to_string(ref.index) +
+                        " of " + std::to_string(program.input_widths.size()));
+            break;
+          case ValueRef::Const:
+            if (ref.index < 0 ||
+                ref.index >= static_cast<int>(program.constants.size()))
+                bad(instruction,
+                    "operand references constant " +
+                        std::to_string(ref.index) + " of " +
+                        std::to_string(program.constants.size()));
+            break;
+          case ValueRef::Inst:
+            // SSA acyclicity: only strictly earlier results.
+            if (ref.index < 0 || ref.index >= static_cast<int>(position))
+                bad(instruction,
+                    "operand references instruction %" +
+                        std::to_string(ref.index) +
+                        " which is not strictly earlier (position " +
+                        std::to_string(position) + ")");
+            break;
+        }
+    };
+
+    for (size_t v = 0; v < program.insts.size(); ++v) {
+        const TargetInst &inst = program.insts[v];
+        for (const ValueRef &ref : inst.args)
+            checkRef(ref, v, inst.inst_name);
+        if (dict) {
+            if (inst.op.class_id < 0 ||
+                inst.op.class_id >= dict->classCount()) {
+                bad(inst.inst_name, "class id " +
+                                        std::to_string(inst.op.class_id) +
+                                        " out of range");
+                continue;
+            }
+            const EquivalenceClass &cls = dict->cls(inst.op.class_id);
+            if (inst.op.member_index < 0 ||
+                inst.op.member_index >=
+                    static_cast<int>(cls.members.size())) {
+                bad(inst.inst_name,
+                    "member index " + std::to_string(inst.op.member_index) +
+                        " out of range for " +
+                        dict->className(inst.op.class_id));
+                continue;
+            }
+            if (inst.args.size() != cls.rep.bv_args.size()) {
+                bad(inst.inst_name,
+                    "call passes " + std::to_string(inst.args.size()) +
+                        " operands, " + dict->className(inst.op.class_id) +
+                        " takes " + std::to_string(cls.rep.bv_args.size()));
+            }
+            if (inst.int_args.size() != cls.rep.int_args.size()) {
+                bad(inst.inst_name,
+                    "call passes " + std::to_string(inst.int_args.size()) +
+                        " immediates, " + dict->className(inst.op.class_id) +
+                        " takes " + std::to_string(cls.rep.int_args.size()));
+            }
+        }
+    }
+    const int last = static_cast<int>(program.insts.size()) - 1;
+    if (program.results.empty()) {
+        if (program.result > last)
+            bad("", "result index " + std::to_string(program.result) +
+                        " exceeds the last instruction " +
+                        std::to_string(last));
+    } else {
+        for (const ValueRef &ref : program.results)
+            checkRef(ref, program.insts.size(), "");
+    }
+}
+
+void
+runVerifier(const VerifyInput &input, const VerifierOptions &options,
+            DiagnosticReport &report)
+{
+    trace::TraceSpan span("analysis.verify");
+    int instructions = 0;
+
+    unsigned rules = 0;
+    if (options.runsPass("wellformed"))
+        rules |= kWellFormed;
+    if (options.runsPass("ub"))
+        rules |= kUndefined;
+    if (options.runsPass("deadcode"))
+        rules |= kDeadCode;
+
+    if (rules) {
+        for (const IsaSemantics *sema : input.isas) {
+            trace::TraceSpan isa_span("analysis.pass.inst");
+            isa_span.setAttr("isa", sema->isa);
+            for (const auto &inst : sema->insts) {
+                verifyInstruction(inst, rules, options.inst, report);
+                ++instructions;
+            }
+        }
+    }
+
+    if (input.dict && options.runsPass("crosstable"))
+        runCrossTablePass(input, options, report);
+
+    // InstChecker::run() counts analysis.verify.instructions itself
+    // (including the class representatives the crosstable pass checks).
+    span.setAttr("instructions", static_cast<int64_t>(instructions));
+    span.setAttr("errors", static_cast<int64_t>(report.errors()));
+    metrics::gauge("analysis.verify.last_errors").set(report.errors());
+}
+
+} // namespace analysis
+} // namespace hydride

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The pipeline-wide semantic verifier: runs every static analysis
+ * pass over the derived spec database, the AutoLLVM dictionary and
+ * the lowering tables, producing structured diagnostics.
+ *
+ * Passes (ids usable with `hydride-verify --passes`):
+ *
+ *  - `wellformed` — per-instruction bitwidth/type well-formedness
+ *    (WF rules; see inst_verify.h).
+ *  - `ub`         — per-instruction undefined-behaviour detection
+ *    (UB rules).
+ *  - `deadcode`   — dead operands and unreachable templates (DC
+ *    rules).
+ *  - `crosstable` — AutoLLVM dictionary / lowering-table consistency
+ *    (XT rules): every spec instruction has a dictionary entry, no
+ *    dangling member names, unambiguous 1-1 lowering per (class,
+ *    ISA, parameters), every variant lowers to its own ISA, lowered
+ *    programs are SSA-acyclic, and the macro-expansion fallback
+ *    covers basic arithmetic on every ingested ISA.
+ *
+ * The per-instruction passes also run over every equivalence-class
+ * representative when a dictionary is supplied, so defects introduced
+ * by constant extraction or class merging are caught too.
+ */
+#ifndef HYDRIDE_ANALYSIS_VERIFIER_H
+#define HYDRIDE_ANALYSIS_VERIFIER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/inst_verify.h"
+#include "codegen/lowering.h"
+#include "specs/spec_db.h"
+
+namespace hydride {
+namespace analysis {
+
+/** Static description of one verifier pass. */
+struct PassInfo
+{
+    std::string id;
+    std::string title;
+    std::string rules; ///< Rule-id family, e.g. "WF01..WF09".
+    bool needs_dict = false;
+};
+
+/** All registered passes, in execution order. */
+const std::vector<PassInfo> &verifierPasses();
+
+/** What the verifier runs over. */
+struct VerifyInput
+{
+    std::vector<const IsaSemantics *> isas;
+    const AutoLLVMDict *dict = nullptr; ///< Needed by `crosstable`.
+};
+
+/** Verifier configuration. */
+struct VerifierOptions
+{
+    InstVerifyOptions inst;
+    /** Pass ids to run; empty = every pass the input supports. */
+    std::vector<std::string> pass_ids;
+    /** Vector register width per ISA for the macro-expansion
+     *  coverage check (XT06); ISAs not listed are skipped. */
+    std::map<std::string, int> vector_bits = {
+        {"x86", 512}, {"hvx", 1024}, {"arm", 128}};
+
+    bool runsPass(const std::string &id) const;
+};
+
+/** Run the selected passes, appending diagnostics to `report`. */
+void runVerifier(const VerifyInput &input, const VerifierOptions &options,
+                 DiagnosticReport &report);
+
+/**
+ * SSA well-formedness of a lowered target program (rule XT05): every
+ * operand references a module input, a hoisted constant, or a
+ * *prior* instruction — no self or forward references — and, when a
+ * dictionary is supplied, every call's arity matches its class
+ * representative. Also used on macro-expansion output.
+ */
+void verifyTargetProgram(const TargetProgram &program,
+                         const AutoLLVMDict *dict,
+                         DiagnosticReport &report);
+
+} // namespace analysis
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_VERIFIER_H

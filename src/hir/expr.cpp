@@ -102,6 +102,41 @@ applyIntBin(IntBinOp op, int64_t a, int64_t b)
 
 } // namespace
 
+std::string
+SourceLoc::str() const
+{
+    if (!known())
+        return {};
+    return unit + ":" + std::to_string(line);
+}
+
+void
+tagSourceLoc(const ExprPtr &expr, const SourceLoc &loc)
+{
+    if (!expr || expr->loc.known())
+        return;
+    // The node was freshly built by a parser and is not yet shared
+    // outside this tree, so in-place tagging is safe.
+    const_cast<Expr &>(*expr).loc = loc;
+    for (const auto &kid : expr->kids)
+        tagSourceLoc(kid, loc);
+}
+
+SourceLoc
+findSourceLoc(const ExprPtr &expr)
+{
+    if (!expr)
+        return {};
+    if (expr->loc.known())
+        return expr->loc;
+    for (const auto &kid : expr->kids) {
+        SourceLoc loc = findSourceLoc(kid);
+        if (loc.known())
+            return loc;
+    }
+    return {};
+}
+
 bool
 Expr::isInt() const
 {

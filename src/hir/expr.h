@@ -79,6 +79,24 @@ class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
 /**
+ * Where a node came from in the vendor manual: the dialect-qualified
+ * instruction ("x86:_mm_add_epi16") plus the 1-based pseudocode line.
+ * The parsers attach locations; rewriting preserves them on rebuilt
+ * nodes, so diagnostics can usually point at the offending pseudocode
+ * line even after canonicalization. Locations are metadata only:
+ * structural equality and hashing ignore them.
+ */
+struct SourceLoc
+{
+    std::string unit; ///< "<dialect>:<instruction>".
+    int line = 0;     ///< 1-based line in the pseudocode; 0 = unknown.
+
+    bool known() const { return line > 0; }
+    /** "x86:_mm_add_epi16:3"; empty string when unknown. */
+    std::string str() const;
+};
+
+/**
  * One immutable Hydride IR node. Construct through the factory
  * functions below, never directly.
  */
@@ -93,6 +111,8 @@ class Expr
     std::string name;
     /// Operands; Int operands (widths, indices) live here too.
     std::vector<ExprPtr> kids;
+    /// Vendor-manual provenance; ignored by equals()/hashOf().
+    SourceLoc loc;
 
     /** True for Int-typed nodes (see class comment). */
     bool isInt() const;
@@ -125,6 +145,19 @@ ExprPtr concat(ExprPtr high, ExprPtr low);
 ExprPtr bvCmp(BVCmpOp op, ExprPtr a, ExprPtr b);
 ExprPtr select(ExprPtr cond, ExprPtr then_e, ExprPtr else_e);
 ExprPtr hole(std::vector<ExprPtr> context);
+
+// ---- Source locations ------------------------------------------------------
+
+/**
+ * Tag `expr` and every descendant that has no location yet with
+ * `loc`, stopping at already-tagged subtrees. Only call on freshly
+ * parsed trees whose nodes are not shared with other expressions (the
+ * parsers' use case): tagging mutates nodes in place.
+ */
+void tagSourceLoc(const ExprPtr &expr, const SourceLoc &loc);
+
+/** First known location in a pre-order walk; unknown if none. */
+SourceLoc findSourceLoc(const ExprPtr &expr);
 
 // Convenience shorthand for common index arithmetic.
 inline ExprPtr addI(ExprPtr a, ExprPtr b) { return intBin(IntBinOp::Add, a, b); }

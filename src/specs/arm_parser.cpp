@@ -74,9 +74,9 @@ class ArmParser : public ExprParserBase
         if (cur_.accept("for")) {
             const std::string var = cur_.expectIdent();
             cur_.expect("=");
-            TypedExpr lo = parseExpr();
+            TypedExpr lo = parseLocatedExpr();
             cur_.expect("to");
-            TypedExpr hi = parseExpr();
+            TypedExpr hi = parseLocatedExpr();
             cur_.expect("do");
             requireInt(lo, "for lower bound");
             requireInt(hi, "for upper bound");
@@ -91,12 +91,12 @@ class ArmParser : public ExprParserBase
             cur_.expect("[");
             cur_.expect("dst");
             cur_.expect(",");
-            TypedExpr idx = parseExpr();
+            TypedExpr idx = parseLocatedExpr();
             cur_.expect(",");
-            TypedExpr width_e = parseExpr();
+            TypedExpr width_e = parseLocatedExpr();
             cur_.expect("]");
             cur_.expect("=");
-            TypedExpr value = parseExpr();
+            TypedExpr value = parseLocatedExpr();
             cur_.expect(";");
             requireInt(idx, "element index");
             const int width = constOf(width_e.expr, "element width");
@@ -113,7 +113,7 @@ class ArmParser : public ExprParserBase
             // text uses `dst = expr;` for whole-register ops.
             cur_.take();
             cur_.expect("=");
-            TypedExpr value = parseExpr();
+            TypedExpr value = parseLocatedExpr();
             cur_.expect(";");
             if (!value.is_bv)
                 cur_.fail("whole-register assignment must be a bitvector");
@@ -122,7 +122,7 @@ class ArmParser : public ExprParserBase
         }
         const std::string var = cur_.expectIdent();
         cur_.expect("=");
-        TypedExpr value = parseExpr();
+        TypedExpr value = parseLocatedExpr();
         cur_.expect(";");
         requireInt(value, "let binding");
         scope_.int_vars[var] = true;

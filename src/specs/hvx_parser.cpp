@@ -90,14 +90,14 @@ class HvxParser : public ExprParserBase
             cur_.expect("(");
             const std::string var = cur_.expectIdent();
             cur_.expect("=");
-            TypedExpr lo = parseExpr();
+            TypedExpr lo = parseLocatedExpr();
             requireInt(lo, "for lower bound");
             cur_.expect(";");
             const std::string var2 = cur_.expectIdent();
             if (var2 != var)
                 cur_.fail("for-loop condition must test the loop variable");
             cur_.expect("<");
-            TypedExpr bound = parseExpr();
+            TypedExpr bound = parseLocatedExpr();
             requireInt(bound, "for upper bound");
             cur_.expect(";");
             const std::string var3 = cur_.expectIdent();
@@ -125,15 +125,15 @@ class HvxParser : public ExprParserBase
                 if (width == 0)
                     cur_.fail("unknown lane accessor `." + suffix + "`");
                 cur_.expect("[");
-                TypedExpr idx = parseExpr();
+                TypedExpr idx = parseLocatedExpr();
                 requireInt(idx, "lane index");
                 cur_.expect("]");
                 low = mulI(idx.expr, intConst(width));
             } else {
                 cur_.expect("[");
-                TypedExpr hi = parseExpr();
+                TypedExpr hi = parseLocatedExpr();
                 cur_.expect(":");
-                TypedExpr lo = parseExpr();
+                TypedExpr lo = parseLocatedExpr();
                 cur_.expect("]");
                 requireInt(hi, "slice high index");
                 requireInt(lo, "slice low index");
@@ -141,7 +141,7 @@ class HvxParser : public ExprParserBase
                 low = lo.expr;
             }
             cur_.expect("=");
-            TypedExpr value = parseExpr();
+            TypedExpr value = parseLocatedExpr();
             cur_.expect(";");
             if (!value.is_bv)
                 value = coerceLiteral(value, width);
@@ -151,7 +151,7 @@ class HvxParser : public ExprParserBase
         }
         const std::string var = cur_.expectIdent();
         cur_.expect("=");
-        TypedExpr value = parseExpr();
+        TypedExpr value = parseLocatedExpr();
         cur_.expect(";");
         requireInt(value, "let binding");
         scope_.int_vars[var] = true;

@@ -166,6 +166,16 @@ namespace hydride {
 // ---- ExprParserBase ---------------------------------------------------------
 
 TypedExpr
+ExprParserBase::parseLocatedExpr()
+{
+    const int line = cur_.peek().line;
+    TypedExpr out = parseExpr();
+    if (out.expr)
+        tagSourceLoc(out.expr, SourceLoc{cur_.sourceName(), line});
+    return out;
+}
+
+TypedExpr
 ExprParserBase::parseTernary()
 {
     TypedExpr cond = parseOr();

@@ -80,6 +80,9 @@ class TokenCursor
     /** Raise a parse error mentioning the source and line. */
     [[noreturn]] void fail(const std::string &message) const;
 
+    /** The "<dialect>:<instruction>" unit name for diagnostics. */
+    const std::string &sourceName() const { return source_name_; }
+
   private:
     std::vector<Token> tokens_;
     size_t pos_ = 0;
@@ -132,6 +135,15 @@ class ExprParserBase
     virtual TypedExpr parsePrimary() = 0;
 
     TypedExpr parseExpr() { return parseTernary(); }
+
+    /**
+     * Parse one expression and tag every resulting node with the
+     * source line of its first token (vendor pseudocode is one
+     * statement per line, so statement granularity is exact). The
+     * dialect parsers call this at statement level so verifier
+     * diagnostics can point at the offending pseudocode line.
+     */
+    TypedExpr parseLocatedExpr();
 
     // Precedence levels.
     TypedExpr parseTernary();

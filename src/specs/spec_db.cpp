@@ -1,5 +1,6 @@
 #include "specs/spec_db.h"
 
+#include "analysis/inst_verify.h"
 #include "hir/canonicalize.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
@@ -74,12 +75,25 @@ isaSemantics(const std::string &isa)
     span.setAttr("isa", isa);
     IsaSemantics sema;
     sema.isa = isa;
+    const bool verify = analysis::loadTimeVerifyEnabled();
     for (const auto &inst : isaManual(isa).insts) {
         SpecFunction fn = parseInst(isa, inst);
         CanonicalizeResult result = canonicalize(fn);
         if (!result.ok) {
             fatal("canonicalization failed for " + isa + ":" + inst.name +
                   ": " + result.error);
+        }
+        if (verify) {
+            // Debug-mode assertion: the cheap per-instruction passes
+            // must come back clean on everything we hand downstream.
+            analysis::DiagnosticReport report;
+            analysis::verifyInstruction(
+                result.sem, analysis::kWellFormed | analysis::kUndefined,
+                {}, report);
+            if (report.hasErrors()) {
+                fatal("load-time verification failed for " + isa + ":" +
+                      inst.name + ":\n" + report.renderText());
+            }
         }
         sema.insts.push_back(std::move(result.sem));
     }

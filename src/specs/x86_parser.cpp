@@ -81,9 +81,9 @@ class X86Parser : public ExprParserBase
         if (cur_.accept("FOR")) {
             const std::string var = cur_.expectIdent();
             cur_.expect(":=");
-            TypedExpr lo = parseExpr();
+            TypedExpr lo = parseLocatedExpr();
             cur_.expect("to");
-            TypedExpr hi = parseExpr();
+            TypedExpr hi = parseLocatedExpr();
             requireInt(lo, "FOR lower bound");
             requireInt(hi, "FOR upper bound");
             scope_.int_vars[var] = true;
@@ -95,12 +95,12 @@ class X86Parser : public ExprParserBase
         if (cur_.lookingAt("dst")) {
             cur_.take();
             cur_.expect("[");
-            TypedExpr hi = parseExpr();
+            TypedExpr hi = parseLocatedExpr();
             cur_.expect(":");
-            TypedExpr lo = parseExpr();
+            TypedExpr lo = parseLocatedExpr();
             cur_.expect("]");
             cur_.expect(":=");
-            TypedExpr value = parseExpr();
+            TypedExpr value = parseLocatedExpr();
             requireInt(hi, "slice high index");
             requireInt(lo, "slice low index");
             const int width = sliceWidth(hi.expr, lo.expr);
@@ -113,7 +113,7 @@ class X86Parser : public ExprParserBase
         // Integer let: ident := int-expr
         const std::string var = cur_.expectIdent();
         cur_.expect(":=");
-        TypedExpr value = parseExpr();
+        TypedExpr value = parseLocatedExpr();
         requireInt(value, "let binding");
         scope_.int_vars[var] = true;
         return stmtLetInt(var, value.expr);

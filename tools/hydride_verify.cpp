@@ -1,0 +1,19 @@
+/**
+ * @file
+ * `hydride-verify` — run the pipeline-wide static verifier over the
+ * derived spec database and AutoLLVM dictionary from the command
+ * line. All logic lives in src/analysis/driver.cpp so the tests can
+ * drive the CLI in-process.
+ */
+#include "analysis/driver.h"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return hydride::analysis::runVerifierCli(args, std::cout, std::cerr);
+}

@@ -33,6 +33,12 @@ fi
 echo "===== hydride-verify ====="
 build/tools/hydride-verify --max-print 50 || exit 1
 
+# Symbolic translation validation: EQ01..EQ04 over the whole
+# dictionary. The tool prints per-rule proved/refuted/unknown tallies;
+# unknown-verdict queries are surfaced, never counted as passes.
+echo "===== hydride-verify --passes equiv ====="
+build/tools/hydride-verify --passes equiv --max-print 50 || exit 1
+
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue

@@ -166,8 +166,23 @@ DiagnosticReport::renderJson() const
     }
     os << "],\"summary\":{\"errors\":" << errors_ << ",\"warnings\":"
        << warnings_ << ",\"notes\":" << notes_ << ",\"suppressed\":"
-       << suppressed_ << "}}";
+       << suppressed_ << "}";
+    for (const auto &[key, raw_json] : extras_)
+        os << ",\"" << jsonEscape(key) << "\":" << raw_json;
+    os << "}";
     return os.str();
+}
+
+void
+DiagnosticReport::setExtra(const std::string &key, std::string raw_json)
+{
+    for (auto &[existing, value] : extras_) {
+        if (existing == key) {
+            value = std::move(raw_json);
+            return;
+        }
+    }
+    extras_.emplace_back(key, std::move(raw_json));
 }
 
 } // namespace analysis

@@ -13,6 +13,7 @@
 #define HYDRIDE_ANALYSIS_DIAGNOSTICS_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hir/expr.h"
@@ -71,14 +72,20 @@ class DiagnosticReport
     /** One line per finding plus a summary line; `max_diags` 0 = all. */
     std::string renderText(size_t max_diags = 0) const;
 
-    /** {"diagnostics":[...],"summary":{...}} */
+    /** {"diagnostics":[...],"summary":{...}} plus any extras. */
     std::string renderJson() const;
+
+    /** Attach an extra top-level JSON key to renderJson() output.
+     *  `raw_json` is emitted verbatim (it must already be valid
+     *  JSON); the equiv pass uses this for its verdict tallies. */
+    void setExtra(const std::string &key, std::string raw_json);
 
   private:
     bool waived(const Diagnostic &diag) const;
 
     std::vector<Diagnostic> diags_;
     std::vector<Waiver> waivers_;
+    std::vector<std::pair<std::string, std::string>> extras_;
     int errors_ = 0;
     int warnings_ = 0;
     int notes_ = 0;

@@ -7,8 +7,10 @@
 #include "support/strings.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 #include <ostream>
+#include <sstream>
 
 namespace hydride {
 namespace analysis {
@@ -34,7 +36,10 @@ const char kUsage[] =
     "  --mutate KIND       seed one defect before verifying; implies\n"
     "                      --werror (see --list-mutations)\n"
     "  --self-test         seed every defect in turn and assert the\n"
-    "                      expected rule fires\n"
+    "                      expected rule fires (semantic defects must\n"
+    "                      be caught by EQ rules alone)\n"
+    "  --eq-budget N       equiv-pass budget: N AIG nodes and N/8 SAT\n"
+    "                      conflicts per query\n"
     "  --metrics           dump the metrics registry after the run\n"
     "  --list-passes       list verifier passes and exit\n"
     "  --list-mutations    list mutation kinds and exit\n"
@@ -85,6 +90,128 @@ exitStatus(const DiagnosticReport &report, bool werror)
     return 0;
 }
 
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+std::string
+secondsText(double seconds)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", seconds);
+    return buffer;
+}
+
+/** Unknown-verdict queries ordered by solver time spent, worst first. */
+std::vector<const EquivUnknown *>
+worstUnknowns(const EquivStats &stats, size_t limit)
+{
+    std::vector<const EquivUnknown *> worst;
+    worst.reserve(stats.unknowns.size());
+    for (const EquivUnknown &u : stats.unknowns)
+        worst.push_back(&u);
+    std::sort(worst.begin(), worst.end(),
+              [](const EquivUnknown *a, const EquivUnknown *b) {
+                  return a->seconds > b->seconds;
+              });
+    if (worst.size() > limit)
+        worst.resize(limit);
+    return worst;
+}
+
+const std::vector<std::string> &
+equivRuleIds()
+{
+    static const std::vector<std::string> rules = {"EQ01", "EQ02", "EQ03",
+                                                   "EQ04"};
+    return rules;
+}
+
+/** Per-rule verdict tallies + budget honesty, for the text report. */
+std::string
+equivSummaryText(const EquivStats &stats)
+{
+    std::ostringstream os;
+    for (const std::string &rule : equivRuleIds()) {
+        const auto count = [&](const std::map<std::string, int> &m) {
+            auto it = m.find(rule);
+            return it == m.end() ? 0 : it->second;
+        };
+        if (!count(stats.proved) && !count(stats.refuted) &&
+            !count(stats.unknown))
+            continue;
+        os << "equiv: " << rule << " proved=" << count(stats.proved)
+           << " refuted=" << count(stats.refuted)
+           << " unknown=" << count(stats.unknown) << "\n";
+    }
+    os << "equiv: " << secondsText(stats.seconds) << "s solver time\n";
+    if (!stats.unknowns.empty()) {
+        os << "equiv: " << stats.unknowns.size()
+           << " unknown-verdict quer"
+           << (stats.unknowns.size() == 1 ? "y" : "ies")
+           << " NOT counted as passes; worst offenders:\n";
+        for (const EquivUnknown *u : worstUnknowns(stats, 3)) {
+            os << "equiv:   " << u->rule << " " << u->isa << ":"
+               << u->subject << " — " << u->reason << " ("
+               << secondsText(u->seconds) << "s)\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+equivSummaryJson(const EquivStats &stats)
+{
+    std::ostringstream os;
+    auto tally = [&](const char *key, const std::map<std::string, int> &m) {
+        os << "\"" << key << "\":{";
+        bool first = true;
+        for (const std::string &rule : equivRuleIds()) {
+            auto it = m.find(rule);
+            if (it == m.end())
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << rule << "\":" << it->second;
+        }
+        os << "}";
+    };
+    os << "{";
+    tally("proved", stats.proved);
+    os << ",";
+    tally("refuted", stats.refuted);
+    os << ",";
+    tally("unknown", stats.unknown);
+    os << ",\"solver_seconds\":" << secondsText(stats.seconds)
+       << ",\"unknown_queries\":[";
+    for (size_t i = 0; i < stats.unknowns.size(); ++i) {
+        const EquivUnknown &u = stats.unknowns[i];
+        if (i)
+            os << ",";
+        os << "{\"rule\":\"" << jsonEscape(u.rule) << "\",\"isa\":\""
+           << jsonEscape(u.isa) << "\",\"subject\":\""
+           << jsonEscape(u.subject) << "\",\"reason\":\""
+           << jsonEscape(u.reason) << "\",\"seconds\":"
+           << secondsText(u.seconds) << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
 /** Run the verifier with one seeded defect. Returns the report and
  *  (via out-params) what was mutated. */
 DiagnosticReport
@@ -95,15 +222,32 @@ runMutated(const CliOptions &options, const MutationInfo &mutation,
     report.setWaivers(options.waivers);
     VerifierOptions vopts = options.verify;
 
-    if (mutation.on_dict) {
+    if (mutation.on_expander) {
+        // No table data changes: flip the expander's splice-skew knob
+        // and let the EQ03 queries compare the skewed programs.
+        const AutoLLVMDict dict = AutoLLVMDict::build(options.isas);
+        VerifyInput input{loadIsas(options.isas), &dict};
+        vopts.pass_ids = {"crosstable", "equiv"};
+        vopts.equiv.rules = {mutation.expected_rule};
+        vopts.equiv.expander_splice_skew = 1;
+        victim = "<macro-expansion splice>";
+        runVerifier(input, vopts, report);
+    } else if (mutation.on_dict) {
         // Mutate the dictionary: rebuild it from mutated classes and
-        // run only the crosstable pass (the spec DB is untouched).
+        // run the crosstable pass (the spec DB is untouched). Semantic
+        // defects additionally run their EQ rule, restricted to the
+        // victim so self-testing stays fast.
         std::vector<EquivalenceClass> classes =
             runSimilarityEngine(combinedSemantics(options.isas));
         victim = mutateClasses(classes, mutation.kind);
         const AutoLLVMDict dict(std::move(classes));
         VerifyInput input{loadIsas(options.isas), &dict};
         vopts.pass_ids = {"crosstable"};
+        if (mutation.semantic()) {
+            vopts.pass_ids.push_back("equiv");
+            vopts.equiv.rules = {mutation.expected_rule};
+            vopts.equiv.instruction_filter = victim;
+        }
         runVerifier(input, vopts, report);
     } else {
         // Mutate one instruction's semantics: run the per-instruction
@@ -144,10 +288,22 @@ runSelfTest(const CliOptions &options, std::ostream &out, std::ostream &err)
             report.diags().begin(), report.diags().end(),
             [&](const Diagnostic &d) { return d.rule ==
                                               mutation.expected_rule; });
+        // A semantic defect must be invisible to the structural rules:
+        // only the symbolic EQ family may error on it.
+        const bool structurally_clean =
+            !mutation.semantic() ||
+            std::none_of(report.diags().begin(), report.diags().end(),
+                         [](const Diagnostic &d) {
+                             return d.severity == Severity::Error &&
+                                    d.rule.rfind("EQ", 0) != 0;
+                         });
         out << "self-test: " << mutation.kind << " -> "
             << mutation.expected_rule << " on " << victim << ": "
-            << (caught ? "caught" : "MISSED") << "\n";
-        if (!caught) {
+            << (caught ? (structurally_clean ? "caught"
+                                             : "caught, but NOT EQ-only")
+                       : "MISSED")
+            << "\n";
+        if (!caught || !structurally_clean) {
             err << report.renderText(options.max_print);
             ++failures;
         }
@@ -227,6 +383,17 @@ runVerifierCli(const std::vector<std::string> &args, std::ostream &out,
             if (!value(v))
                 return 2;
             options.max_print = static_cast<size_t>(std::stoul(v));
+        } else if (arg == "--eq-budget") {
+            if (!value(v))
+                return 2;
+            const unsigned long budget = std::stoul(v);
+            if (budget < 64) {
+                err << "hydride-verify: --eq-budget must be >= 64\n";
+                return 2;
+            }
+            options.verify.equiv.budget.max_nodes = budget;
+            options.verify.equiv.budget.max_conflicts =
+                static_cast<long>(budget / 8);
         } else if (arg == "--mutate") {
             if (!value(v))
                 return 2;
@@ -269,6 +436,9 @@ runVerifierCli(const std::vector<std::string> &args, std::ostream &out,
     if (options.dump_metrics)
         metrics::setEnabled(true);
 
+    EquivStats equiv_stats;
+    options.verify.equiv.stats = &equiv_stats;
+
     if (options.self_test) {
         const int status = runSelfTest(options, out, err);
         if (options.dump_metrics)
@@ -292,12 +462,15 @@ runVerifierCli(const std::vector<std::string> &args, std::ostream &out,
             << "' into " << victim << " (expect "
             << mutation->expected_rule << ")\n";
     } else {
-        const bool want_crosstable =
-            !options.no_dict && options.verify.runsPass("crosstable");
+        // Both the crosstable pass and the symbolic equivalence pass
+        // consume the dictionary.
+        const bool want_dict = !options.no_dict &&
+                               (options.verify.runsPass("crosstable") ||
+                                options.verify.runsPass("equiv"));
         VerifyInput input;
         input.isas = loadIsas(options.isas);
         std::optional<AutoLLVMDict> dict;
-        if (want_crosstable) {
+        if (want_dict) {
             dict.emplace(AutoLLVMDict::build(options.isas));
             input.dict = &*dict;
         }
@@ -305,10 +478,19 @@ runVerifierCli(const std::vector<std::string> &args, std::ostream &out,
     }
 
     report.sortBySeverity();
-    if (options.json)
+    const bool equiv_ran = equiv_stats.totalProved() +
+                               equiv_stats.totalRefuted() +
+                               equiv_stats.totalUnknown() >
+                           0;
+    if (options.json) {
+        if (equiv_ran)
+            report.setExtra("equiv", equivSummaryJson(equiv_stats));
         out << report.renderJson() << "\n";
-    else
+    } else {
         out << report.renderText(options.max_print);
+        if (equiv_ran)
+            out << equivSummaryText(equiv_stats);
+    }
     if (options.dump_metrics)
         out << metrics::exportJson() << "\n";
     return exitStatus(report, options.werror);

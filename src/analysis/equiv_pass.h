@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The `equiv` verifier pass: symbolic translation validation of the
+ * pipeline's tables (EQ rules). Split from verifier.cpp because it
+ * pulls in the whole symbolic engine plus the synthesizer.
+ *
+ * Rules:
+ *  - EQ01 — every similarity-class member is equivalent to the class
+ *    representative instantiated with the member's recorded parameter
+ *    assignment (under the member's argument permutation).
+ *  - EQ02 — every lowering-table entry round-trips: the AutoLLVM op
+ *    (representative view) equals its lowered target instruction
+ *    (hardware view) on all inputs.
+ *  - EQ03 — macro-expansion fallback output is equivalent to the
+ *    Halide op it replaces, including the multi-register splice.
+ *  - EQ04 — CEGIS results re-validate symbolically against their
+ *    specification windows.
+ *
+ * Verdicts: `refuted` findings are errors and carry a concretely
+ * validated countermodel; `unknown` (budget) findings are warnings
+ * and are tallied separately — never silently counted as passes.
+ */
+#ifndef HYDRIDE_ANALYSIS_EQUIV_PASS_H
+#define HYDRIDE_ANALYSIS_EQUIV_PASS_H
+
+#include "analysis/verifier.h"
+
+namespace hydride {
+namespace analysis {
+
+/** Run the EQ rules; requires `input.dict`. */
+void runEquivPass(const VerifyInput &input, const VerifierOptions &options,
+                  DiagnosticReport &report);
+
+} // namespace analysis
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_EQUIV_PASS_H

@@ -1,5 +1,10 @@
 #include "analysis/mutate.h"
 
+#include "support/error.h"
+#include "support/rng.h"
+
+#include <memory>
+
 namespace hydride {
 namespace analysis {
 
@@ -27,6 +32,19 @@ allMutations()
         {"drop-lowering", "XT07",
          "remove a class member so its instruction has no dictionary entry",
          true},
+        // Semantic-only defects: structurally well-formed tables whose
+        // *meaning* is wrong. Only the symbolic EQ rules catch these.
+        {"sat-swap", "EQ01",
+         "replace a saturating add/sub in a class template with the "
+         "wrapping form",
+         true},
+        {"operand-flip", "EQ02",
+         "swap the first two slots of a lowering entry's argument "
+         "permutation",
+         true},
+        {"splice-shift", "EQ03",
+         "rotate the macro-expansion result splice by one register",
+         false, true},
     };
     return mutations;
 }
@@ -49,6 +67,89 @@ T &
 midPick(std::vector<T> &v)
 {
     return v[v.size() / 2];
+}
+
+/** Rewrite the first saturating operation in `expr` to the wrapping
+ *  form (saturating add/sub becomes plain add/sub; a saturating
+ *  narrow becomes a plain truncation — the shape the spec parsers
+ *  produce, since vendor pseudocode saturates via widen + clamp),
+ *  leaving everything else shared. `done` stops the walk. */
+ExprPtr
+swapFirstSat(const ExprPtr &expr, bool &done)
+{
+    if (done)
+        return expr;
+    if (expr->kind == ExprKind::BVBin) {
+        const auto op = static_cast<BVBinOp>(expr->value);
+        if (op == BVBinOp::AddSatS || op == BVBinOp::AddSatU) {
+            done = true;
+            return bvBin(BVBinOp::Add, expr->kids[0], expr->kids[1]);
+        }
+        if (op == BVBinOp::SubSatS || op == BVBinOp::SubSatU) {
+            done = true;
+            return bvBin(BVBinOp::Sub, expr->kids[0], expr->kids[1]);
+        }
+    }
+    if (expr->kind == ExprKind::BVCast) {
+        const auto op = static_cast<BVCastOp>(expr->value);
+        if (op == BVCastOp::SatNarrowS || op == BVCastOp::SatNarrowU) {
+            done = true;
+            auto node = std::make_shared<Expr>(*expr);
+            node->value = static_cast<int64_t>(BVCastOp::Trunc);
+            return node;
+        }
+    }
+    std::vector<ExprPtr> kids;
+    kids.reserve(expr->kids.size());
+    bool changed = false;
+    for (const ExprPtr &kid : expr->kids) {
+        ExprPtr rebuilt = swapFirstSat(kid, done);
+        changed = changed || rebuilt != kid;
+        kids.push_back(std::move(rebuilt));
+    }
+    if (!changed)
+        return expr;
+    auto node = std::make_shared<Expr>(*expr);
+    node->kids = std::move(kids);
+    return node;
+}
+
+/** True when the two sides of the seeded defect really disagree on at
+ *  least one of a few random inputs — keeps `--self-test`
+ *  deterministic by never seeding a vacuous semantic mutation. */
+bool
+concretelyDiffers(const std::function<BitVector(
+                      const std::vector<BitVector> &)> &a,
+                  const std::function<BitVector(
+                      const std::vector<BitVector> &)> &b,
+                  const std::vector<int> &widths)
+{
+    Rng rng(0x5EED5EED);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<BitVector> args;
+        args.reserve(widths.size());
+        for (int w : widths)
+            args.push_back(BitVector::random(std::max(w, 1), rng));
+        try {
+            if (a(args) != b(args))
+                return true;
+        } catch (const AssertionError &) {
+            return false;
+        }
+    }
+    return false;
+}
+
+/** Argument widths of a class representative under `params`. */
+std::vector<int>
+repArgWidths(const CanonicalSemantics &rep,
+             const std::vector<int64_t> &params)
+{
+    std::vector<int> widths;
+    widths.reserve(rep.bv_args.size());
+    for (size_t a = 0; a < rep.bv_args.size(); ++a)
+        widths.push_back(rep.argWidth(static_cast<int>(a), params));
+    return widths;
 }
 
 } // namespace
@@ -142,6 +243,101 @@ mutateClasses(std::vector<EquivalenceClass> &classes,
             cls.members.erase(cls.members.begin() +
                               static_cast<long>(cls.members.size() / 2));
             return victim;
+        }
+        if (kind == "sat-swap") {
+            if (cls.rep.templates.empty())
+                continue;
+            bool done = false;
+            ExprPtr rewritten = swapFirstSat(cls.rep.templates[0], done);
+            if (!done)
+                continue;
+            CanonicalSemantics mutated = cls.rep;
+            mutated.templates[0] = rewritten;
+            // Only seed when some member's concrete semantics really
+            // disagree with the wrapped form (the saturation must be
+            // reachable, or EQ01 would rightly prove equivalence).
+            for (const ClassMember &member : cls.members) {
+                if (member.param_values.size() != cls.rep.params.size())
+                    continue;
+                const std::vector<int> widths =
+                    repArgWidths(cls.rep, member.param_values);
+                const std::vector<int64_t> member_ints(
+                    member.concrete.int_args.size(), 1);
+                const std::vector<int64_t> rep_ints(
+                    cls.rep.int_args.size(), 1);
+                auto member_view =
+                    [&](const std::vector<BitVector> &args) {
+                        std::vector<BitVector> member_args(args.size(),
+                                                           BitVector(1));
+                        for (size_t k = 0; k < args.size(); ++k)
+                            member_args[member.arg_perm.empty()
+                                            ? k
+                                            : member.arg_perm[k]] = args[k];
+                        return member.concrete.evaluate(member_args, {},
+                                                        member_ints);
+                    };
+                auto rep_view = [&](const std::vector<BitVector> &args) {
+                    return evaluateWithParams(mutated, member.param_values,
+                                              args, rep_ints);
+                };
+                if (concretelyDiffers(member_view, rep_view, widths)) {
+                    cls.rep.templates[0] = rewritten;
+                    return member.name;
+                }
+            }
+            continue;
+        }
+        if (kind == "operand-flip") {
+            const size_t nargs = cls.rep.bv_args.size();
+            if (nargs < 2)
+                continue;
+            for (size_t m = 0; m < cls.members.size(); ++m) {
+                ClassMember &member = cls.members[m];
+                if (member.param_values.size() != cls.rep.params.size())
+                    continue;
+                // The lowering selector picks the *first* member with
+                // a given (ISA, parameters); mutating a shadowed alias
+                // would leave the emitted program untouched.
+                bool selected = true;
+                for (size_t e = 0; e < m && selected; ++e)
+                    selected = cls.members[e].isa != member.isa ||
+                               cls.members[e].param_values !=
+                                   member.param_values;
+                if (!selected)
+                    continue;
+                const std::vector<int> widths =
+                    repArgWidths(cls.rep, member.param_values);
+                if (widths[0] != widths[1])
+                    continue;
+                std::vector<int> perm = member.arg_perm;
+                if (perm.empty())
+                    for (size_t k = 0; k < nargs; ++k)
+                        perm.push_back(static_cast<int>(k));
+                if (perm.size() != nargs)
+                    continue;
+                std::vector<int> flipped = perm;
+                std::swap(flipped[0], flipped[1]);
+                const std::vector<int64_t> ints(
+                    member.concrete.int_args.size(), 0);
+                auto view_with = [&](const std::vector<int> &p) {
+                    return [&, p](const std::vector<BitVector> &args) {
+                        std::vector<BitVector> member_args(args.size(),
+                                                           BitVector(1));
+                        for (size_t k = 0; k < args.size(); ++k)
+                            member_args[p[k]] = args[k];
+                        return member.concrete.evaluate(member_args, {},
+                                                        ints);
+                    };
+                };
+                // The member must be asymmetric in the swapped slots,
+                // or the flip is observationally a no-op.
+                if (!concretelyDiffers(view_with(perm), view_with(flipped),
+                                       widths))
+                    continue;
+                member.arg_perm = std::move(flipped);
+                return member.name;
+            }
+            continue;
         }
         return {};
     }

@@ -28,6 +28,16 @@ struct MutationInfo
     std::string expected_rule; ///< Rule id the verifier must emit.
     std::string description;
     bool on_dict = false; ///< Mutates dictionary classes, not specs.
+    /** Mutates macro-expansion output via the expander's splice-skew
+     *  knob instead of any table data. */
+    bool on_expander = false;
+
+    /** Semantic-only defect: every structural rule (WF/UB/DC/XT) must
+     *  still pass; only the symbolic EQ rules can catch it. */
+    bool semantic() const
+    {
+        return expected_rule.rfind("EQ", 0) == 0;
+    }
 };
 
 /** All known mutations. */

@@ -1,0 +1,324 @@
+#include "analysis/symbolic/knownbits.h"
+
+#include "support/error.h"
+
+namespace hydride {
+namespace sym {
+
+KnownBits::KnownBits(BitVector known_mask, BitVector known_value)
+    : known(std::move(known_mask)),
+      value(std::move(known_value))
+{
+    HYD_ASSERT(known.width() == value.width(),
+               "KnownBits mask/value width mismatch");
+    // Canonical form: unknown positions carry a zero value bit.
+    value = value.bvand(known);
+}
+
+KnownBits
+KnownBits::top(int width)
+{
+    return KnownBits(BitVector(width), BitVector(width));
+}
+
+KnownBits
+KnownBits::constant(const BitVector &v)
+{
+    return KnownBits(BitVector::allOnes(v.width()), v);
+}
+
+bool
+KnownBits::fullyKnown() const
+{
+    return known == BitVector::allOnes(known.width());
+}
+
+BitVector
+KnownBits::sminVal() const
+{
+    // Minimal signed value: unknown sign bit -> 1, other unknowns -> 0.
+    BitVector v = value;
+    if (!known.getBit(width() - 1))
+        v.setBit(width() - 1, true);
+    return v;
+}
+
+BitVector
+KnownBits::smaxVal() const
+{
+    // Maximal signed value: unknown sign bit -> 0, other unknowns -> 1.
+    BitVector v = umaxVal();
+    if (!known.getBit(width() - 1))
+        v.setBit(width() - 1, false);
+    return v;
+}
+
+KnownBits
+KnownBits::join(const KnownBits &a, const KnownBits &b)
+{
+    HYD_ASSERT(a.width() == b.width(), "KnownBits join width mismatch");
+    const BitVector agree = a.value.bvxor(b.value).bvnot();
+    const BitVector known = a.known.bvand(b.known).bvand(agree);
+    return KnownBits(known, a.value.bvand(known));
+}
+
+bool
+KnownBits::contains(const BitVector &v) const
+{
+    return v.width() == width() && v.bvand(known) == value;
+}
+
+KnownBits
+kbNot(const KnownBits &a)
+{
+    return KnownBits(a.known, a.value.bvnot().bvand(a.known));
+}
+
+KnownBits
+kbAnd(const KnownBits &a, const KnownBits &b)
+{
+    // Known 0 on either side forces 0; both known 1 forces 1.
+    const BitVector zero_a = a.known.bvand(a.value.bvnot());
+    const BitVector zero_b = b.known.bvand(b.value.bvnot());
+    const BitVector one = a.value.bvand(b.value);
+    const BitVector known = zero_a.bvor(zero_b).bvor(one);
+    return KnownBits(known, one);
+}
+
+KnownBits
+kbOr(const KnownBits &a, const KnownBits &b)
+{
+    const BitVector one = a.value.bvor(b.value);
+    const BitVector zero_a = a.known.bvand(a.value.bvnot());
+    const BitVector zero_b = b.known.bvand(b.value.bvnot());
+    const BitVector known = one.bvor(zero_a.bvand(zero_b));
+    return KnownBits(known, one);
+}
+
+KnownBits
+kbXor(const KnownBits &a, const KnownBits &b)
+{
+    const BitVector known = a.known.bvand(b.known);
+    return KnownBits(known, a.value.bvxor(b.value).bvand(known));
+}
+
+KnownBits
+kbAdd(const KnownBits &a, const KnownBits &b, bool carry_in)
+{
+    HYD_ASSERT(a.width() == b.width(), "KnownBits add width mismatch");
+    const int width = a.width();
+    KnownBits out = KnownBits::top(width);
+    // Per-bit enumeration of the possible (sum, carry-out) pairs given
+    // which of {a_i, b_i, carry} are determined. Exact for this domain.
+    bool carry_known = true;
+    bool carry_value = carry_in;
+    for (int i = 0; i < width; ++i) {
+        bool sum_seen[2] = {false, false};
+        bool carry_seen[2] = {false, false};
+        for (int av = 0; av <= 1; ++av) {
+            if (a.known.getBit(i) && a.value.getBit(i) != (av != 0))
+                continue;
+            for (int bv = 0; bv <= 1; ++bv) {
+                if (b.known.getBit(i) && b.value.getBit(i) != (bv != 0))
+                    continue;
+                for (int cv = 0; cv <= 1; ++cv) {
+                    if (carry_known && carry_value != (cv != 0))
+                        continue;
+                    sum_seen[av ^ bv ^ cv] = true;
+                    carry_seen[(av + bv + cv) >= 2] = true;
+                }
+            }
+        }
+        if (sum_seen[0] != sum_seen[1]) {
+            out.known.setBit(i, true);
+            out.value.setBit(i, sum_seen[1]);
+        }
+        carry_known = carry_seen[0] != carry_seen[1];
+        carry_value = carry_seen[1];
+    }
+    return out;
+}
+
+KnownBits
+kbSub(const KnownBits &a, const KnownBits &b)
+{
+    return kbAdd(a, kbNot(b), /*carry_in=*/true);
+}
+
+KnownBits
+kbNeg(const KnownBits &a)
+{
+    return kbAdd(KnownBits::constant(BitVector(a.width())), kbNot(a),
+                 /*carry_in=*/true);
+}
+
+KnownBits
+kbShl(const KnownBits &a, int amount)
+{
+    const int width = a.width();
+    if (amount >= width)
+        return KnownBits::constant(BitVector(width));
+    KnownBits out = KnownBits::top(width);
+    for (int i = 0; i < width; ++i) {
+        if (i < amount) {
+            out.known.setBit(i, true); // Shifted-in zero.
+        } else {
+            out.known.setBit(i, a.known.getBit(i - amount));
+            out.value.setBit(i, a.value.getBit(i - amount));
+        }
+    }
+    return out;
+}
+
+KnownBits
+kbLShr(const KnownBits &a, int amount)
+{
+    const int width = a.width();
+    if (amount >= width)
+        return KnownBits::constant(BitVector(width));
+    KnownBits out = KnownBits::top(width);
+    for (int i = 0; i < width; ++i) {
+        if (i + amount < width) {
+            out.known.setBit(i, a.known.getBit(i + amount));
+            out.value.setBit(i, a.value.getBit(i + amount));
+        } else {
+            out.known.setBit(i, true); // Shifted-in zero.
+        }
+    }
+    return out;
+}
+
+KnownBits
+kbAShr(const KnownBits &a, int amount)
+{
+    const int width = a.width();
+    if (amount >= width)
+        amount = width - 1; // Every bit becomes the sign bit.
+    KnownBits out = KnownBits::top(width);
+    const int sign = width - 1;
+    for (int i = 0; i < width; ++i) {
+        const int src = i + amount < width ? i + amount : sign;
+        out.known.setBit(i, a.known.getBit(src));
+        out.value.setBit(i, a.value.getBit(src));
+    }
+    return out;
+}
+
+KnownBits
+kbZext(const KnownBits &a, int new_width)
+{
+    KnownBits out = KnownBits::top(new_width);
+    out.known = a.known.zext(new_width);
+    out.value = a.value.zext(new_width);
+    // The extension bits are known zero.
+    for (int i = a.width(); i < new_width; ++i)
+        out.known.setBit(i, true);
+    return out;
+}
+
+KnownBits
+kbSext(const KnownBits &a, int new_width)
+{
+    KnownBits out = KnownBits::top(new_width);
+    const int sign = a.width() - 1;
+    for (int i = 0; i < new_width; ++i) {
+        const int src = i < a.width() ? i : sign;
+        out.known.setBit(i, a.known.getBit(src));
+        out.value.setBit(i, a.value.getBit(src));
+    }
+    return out;
+}
+
+KnownBits
+kbTrunc(const KnownBits &a, int new_width)
+{
+    return KnownBits(a.known.trunc(new_width), a.value.trunc(new_width));
+}
+
+KnownBits
+kbExtract(const KnownBits &a, int low, int count)
+{
+    return KnownBits(a.known.extract(low, count),
+                     a.value.extract(low, count));
+}
+
+KnownBits
+kbConcat(const KnownBits &high, const KnownBits &low)
+{
+    return KnownBits(BitVector::concat(high.known, low.known),
+                     BitVector::concat(high.value, low.value));
+}
+
+KnownBits
+kbSelect(const KnownBits &cond, const KnownBits &t, const KnownBits &e)
+{
+    // Any known-one bit makes the condition definitely nonzero.
+    if (!cond.value.isZero())
+        return t;
+    if (cond.fullyKnown()) // Fully known and value zero.
+        return e;
+    return KnownBits::join(t, e);
+}
+
+namespace {
+
+KnownBits
+boolResult(bool value)
+{
+    return KnownBits::constant(BitVector::fromUint(1, value ? 1 : 0));
+}
+
+} // namespace
+
+KnownBits
+kbEq(const KnownBits &a, const KnownBits &b)
+{
+    // Disagreement on a commonly-known bit decides inequality.
+    const BitVector common = a.known.bvand(b.known);
+    if (a.value.bvand(common) != b.value.bvand(common))
+        return boolResult(false);
+    if (a.fullyKnown() && b.fullyKnown())
+        return boolResult(a.value == b.value);
+    return KnownBits::top(1);
+}
+
+KnownBits
+kbNe(const KnownBits &a, const KnownBits &b)
+{
+    return kbNot(kbEq(a, b));
+}
+
+KnownBits
+kbUlt(const KnownBits &a, const KnownBits &b)
+{
+    if (a.umaxVal().ult(b.uminVal()))
+        return boolResult(true);
+    if (!a.uminVal().ult(b.umaxVal()))
+        return boolResult(false);
+    return KnownBits::top(1);
+}
+
+KnownBits
+kbUle(const KnownBits &a, const KnownBits &b)
+{
+    return kbNot(kbUlt(b, a));
+}
+
+KnownBits
+kbSlt(const KnownBits &a, const KnownBits &b)
+{
+    if (a.smaxVal().slt(b.sminVal()))
+        return boolResult(true);
+    if (!a.sminVal().slt(b.smaxVal()))
+        return boolResult(false);
+    return KnownBits::top(1);
+}
+
+KnownBits
+kbSle(const KnownBits &a, const KnownBits &b)
+{
+    return kbNot(kbSlt(b, a));
+}
+
+} // namespace sym
+} // namespace hydride

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Known-bits abstract domain: the fast first tier of the symbolic
+ * equivalence checker (docs/symbolic_engine.md).
+ *
+ * A KnownBits value tracks, per bit, whether the bit is determined and
+ * if so what it is. Transfer functions are *sound over-approximations*
+ * of the concrete BitVector semantics: every concrete value an
+ * expression can take is represented by the abstract result. The
+ * checker uses this tier two ways:
+ *  - if both sides of an equivalence query evaluate to fully-known,
+ *    equal values, the query is proved without touching the AIG;
+ *  - if the two sides disagree on a bit both claim to know, the
+ *    all-zeros-for-unknowns assignment is a candidate refutation
+ *    model (always re-validated concretely before being reported).
+ *
+ * Precision policy: bitwise ops, add/sub (per-bit carry enumeration),
+ * shifts by known amounts, extensions, truncation, extract, concat and
+ * select get real transfer functions. Everything else (mul, division,
+ * saturating ops, min/max, averages, popcount) is computed exactly
+ * when all operands are fully known and degrades to top otherwise —
+ * those queries fall through to the AIG/SAT tier.
+ */
+#ifndef HYDRIDE_ANALYSIS_SYMBOLIC_KNOWNBITS_H
+#define HYDRIDE_ANALYSIS_SYMBOLIC_KNOWNBITS_H
+
+#include "hir/bitvector.h"
+
+namespace hydride {
+namespace sym {
+
+struct KnownBits
+{
+    /** Mask of determined bits (1 = known). */
+    BitVector known;
+    /** Values of the determined bits; unknown positions are zero. */
+    BitVector value;
+
+    KnownBits() = default;
+    KnownBits(BitVector known_mask, BitVector known_value);
+
+    int width() const { return known.width(); }
+
+    /** Nothing known. */
+    static KnownBits top(int width);
+
+    /** Fully-known constant. */
+    static KnownBits constant(const BitVector &v);
+
+    bool fullyKnown() const;
+
+    /** The concrete value; only meaningful when fullyKnown(). */
+    const BitVector &concreteValue() const { return value; }
+
+    /** Smallest / largest possible value, unsigned interpretation. */
+    BitVector uminVal() const { return value; }
+    BitVector umaxVal() const { return value.bvor(known.bvnot()); }
+
+    /** Smallest / largest possible value, signed interpretation. */
+    BitVector sminVal() const;
+    BitVector smaxVal() const;
+
+    /** Lattice join: keep bits both sides know and agree on. */
+    static KnownBits join(const KnownBits &a, const KnownBits &b);
+
+    /** True if `v` is represented by this abstract value. */
+    bool contains(const BitVector &v) const;
+};
+
+// ---- Precise transfer functions ----------------------------------------
+
+KnownBits kbNot(const KnownBits &a);
+KnownBits kbAnd(const KnownBits &a, const KnownBits &b);
+KnownBits kbOr(const KnownBits &a, const KnownBits &b);
+KnownBits kbXor(const KnownBits &a, const KnownBits &b);
+
+/** a + b (+1 when `carry_in`); per-bit carry-set enumeration. */
+KnownBits kbAdd(const KnownBits &a, const KnownBits &b,
+                bool carry_in = false);
+/** a - b, as a + ~b + 1. */
+KnownBits kbSub(const KnownBits &a, const KnownBits &b);
+KnownBits kbNeg(const KnownBits &a);
+
+/** Shifts by a *known* amount, mirroring BitVector's >=width clamps. */
+KnownBits kbShl(const KnownBits &a, int amount);
+KnownBits kbLShr(const KnownBits &a, int amount);
+KnownBits kbAShr(const KnownBits &a, int amount);
+
+KnownBits kbZext(const KnownBits &a, int new_width);
+KnownBits kbSext(const KnownBits &a, int new_width);
+KnownBits kbTrunc(const KnownBits &a, int new_width);
+KnownBits kbExtract(const KnownBits &a, int low, int count);
+KnownBits kbConcat(const KnownBits &high, const KnownBits &low);
+
+/** Mirrors Select: cond == 0 picks `e`, anything else picks `t`. */
+KnownBits kbSelect(const KnownBits &cond, const KnownBits &t,
+                   const KnownBits &e);
+
+// ---- Comparisons (1-bit results) ---------------------------------------
+
+KnownBits kbEq(const KnownBits &a, const KnownBits &b);
+KnownBits kbNe(const KnownBits &a, const KnownBits &b);
+KnownBits kbUlt(const KnownBits &a, const KnownBits &b);
+KnownBits kbUle(const KnownBits &a, const KnownBits &b);
+KnownBits kbSlt(const KnownBits &a, const KnownBits &b);
+KnownBits kbSle(const KnownBits &a, const KnownBits &b);
+
+} // namespace sym
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_SYMBOLIC_KNOWNBITS_H

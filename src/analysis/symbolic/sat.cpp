@@ -1,0 +1,260 @@
+#include "analysis/symbolic/sat.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hydride {
+namespace sym {
+
+SatSolver::SatSolver(uint32_t num_vars)
+    : num_vars_(0)
+{
+    if (num_vars) {
+        num_vars_ = num_vars;
+        watches_.resize(2 * num_vars);
+        value_.assign(num_vars, -1);
+    }
+}
+
+bool
+SatSolver::assignedTrue(Lit l) const
+{
+    const int8_t v = value_[litVar(l)];
+    return v >= 0 && (v != 0) == !litInverted(l);
+}
+
+bool
+SatSolver::assignedFalse(Lit l) const
+{
+    const int8_t v = value_[litVar(l)];
+    return v >= 0 && (v != 0) == litInverted(l);
+}
+
+void
+SatSolver::assign(Lit l)
+{
+    value_[litVar(l)] = litInverted(l) ? 0 : 1;
+    trail_.push_back(l);
+}
+
+void
+SatSolver::undoTo(size_t trail_size)
+{
+    while (trail_.size() > trail_size) {
+        value_[litVar(trail_.back())] = -1;
+        trail_.pop_back();
+    }
+    qhead_ = trail_size;
+}
+
+void
+SatSolver::addClause(std::vector<Lit> clause)
+{
+    // Grow the variable set on demand.
+    uint32_t max_var = 0;
+    for (Lit l : clause)
+        max_var = std::max(max_var, litVar(l));
+    if (max_var >= num_vars_) {
+        num_vars_ = max_var + 1;
+        watches_.resize(2 * num_vars_);
+        value_.resize(num_vars_, -1);
+    }
+
+    // Dedup literals; drop tautologies.
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    for (size_t i = 0; i + 1 < clause.size(); ++i)
+        if (clause[i] == litNot(clause[i + 1]))
+            return;
+
+    if (clause.empty()) {
+        unsat_ = true;
+        return;
+    }
+    const uint32_t id = static_cast<uint32_t>(clauses_.size());
+    clauses_.push_back(std::move(clause));
+    const std::vector<Lit> &c = clauses_.back();
+    watches_[c[0]].push_back(id);
+    watches_[c.size() > 1 ? c[1] : c[0]].push_back(id);
+}
+
+bool
+SatSolver::propagate()
+{
+    while (qhead_ < trail_.size()) {
+        const Lit assigned = trail_[qhead_++];
+        const Lit falsified = litNot(assigned);
+        std::vector<uint32_t> &watch = watches_[falsified];
+        size_t keep = 0;
+        for (size_t i = 0; i < watch.size(); ++i) {
+            const uint32_t id = watch[i];
+            std::vector<Lit> &c = clauses_[id];
+            // Put the falsified watch in slot 1.
+            if (c.size() > 1 && c[0] == falsified)
+                std::swap(c[0], c[1]);
+            if (assignedTrue(c[0])) {
+                watch[keep++] = id;
+                continue;
+            }
+            // Find a replacement watch.
+            bool moved = false;
+            for (size_t k = 2; k < c.size(); ++k) {
+                if (!assignedFalse(c[k])) {
+                    std::swap(c[1], c[k]);
+                    watches_[c[1]].push_back(id);
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved)
+                continue;
+            watch[keep++] = id;
+            if (c.size() == 1 || assignedFalse(c[0])) {
+                // Conflict: keep the remaining watches intact.
+                for (size_t k = i + 1; k < watch.size(); ++k)
+                    watch[keep++] = watch[k];
+                watch.resize(keep);
+                return false;
+            }
+            assign(c[0]); // Unit.
+        }
+        watch.resize(keep);
+    }
+    return true;
+}
+
+SatResult
+SatSolver::solve(long max_conflicts)
+{
+    SatResult result;
+    if (unsat_) {
+        result.status = SatStatus::Unsat;
+        return result;
+    }
+
+    // Static decision order: occurrence count descending; preferred
+    // phase: the polarity seen more often (satisfies more clauses).
+    std::vector<long> occur(2 * num_vars_, 0);
+    for (const auto &c : clauses_)
+        for (Lit l : c)
+            ++occur[l];
+    std::vector<uint32_t> order(num_vars_);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return occur[2 * a] + occur[2 * a + 1] >
+                                occur[2 * b] + occur[2 * b + 1];
+                     });
+    std::vector<uint8_t> phase(num_vars_, 0);
+    for (uint32_t v = 0; v < num_vars_; ++v)
+        phase[v] = occur[2 * v] >= occur[2 * v + 1] ? 1 : 0;
+
+    // Assert unit clauses up front (they are watched twice on the
+    // same literal; propagate handles them, seeded here).
+    for (const auto &c : clauses_) {
+        if (c.size() == 1) {
+            if (assignedFalse(c[0])) {
+                result.status = SatStatus::Unsat;
+                return result;
+            }
+            if (!assignedTrue(c[0]))
+                assign(c[0]);
+        }
+    }
+
+    size_t cursor = 0;
+    while (true) {
+        if (!propagate()) {
+            ++result.conflicts;
+            if (result.conflicts >= max_conflicts) {
+                result.status = SatStatus::Budget;
+                return result;
+            }
+            // Chronological backtracking: flip the deepest decision
+            // that still has an untried phase.
+            bool flipped = false;
+            while (!decisions_.empty()) {
+                Decision &d = decisions_.back();
+                undoTo(d.trail_size);
+                if (d.flipped) {
+                    decisions_.pop_back();
+                    continue;
+                }
+                d.flipped = true;
+                d.lit = litNot(d.lit);
+                assign(d.lit);
+                flipped = true;
+                break;
+            }
+            if (!flipped) {
+                result.status = SatStatus::Unsat;
+                return result;
+            }
+            cursor = 0;
+            continue;
+        }
+        // Decide.
+        while (cursor < order.size() && value_[order[cursor]] >= 0)
+            ++cursor;
+        if (cursor == order.size()) {
+            result.status = SatStatus::Sat;
+            result.model.assign(num_vars_, 0);
+            for (uint32_t v = 0; v < num_vars_; ++v)
+                result.model[v] = value_[v] > 0 ? 1 : 0;
+            // Reset solver state so solve() could run again.
+            undoTo(0);
+            decisions_.clear();
+            return result;
+        }
+        const uint32_t var = order[cursor];
+        const Lit lit = (var << 1) | (phase[var] ? 0u : 1u);
+        decisions_.push_back({trail_.size(), lit, false});
+        assign(lit);
+    }
+}
+
+uint32_t
+cnfFromAig(const Aig &aig, Lit root, SatSolver &solver)
+{
+    if (root == kFalseLit) {
+        solver.addClause({}); // Trivially unsatisfiable.
+        return 0;
+    }
+    if (root == kTrueLit)
+        return 0; // Trivially satisfiable: no constraints.
+
+    // Tseitin over the cone of root. Solver var == AIG var.
+    const uint32_t root_var = litVar(root);
+    std::vector<uint8_t> in_cone(root_var + 1, 0);
+    std::vector<uint32_t> stack = {root_var};
+    in_cone[root_var] = 1;
+    while (!stack.empty()) {
+        const uint32_t var = stack.back();
+        stack.pop_back();
+        if (!aig.isAnd(var))
+            continue;
+        const Aig::Node &n = aig.node(var);
+        for (Lit operand : {n.a, n.b}) {
+            const uint32_t v = litVar(operand);
+            if (v != 0 && !in_cone[v]) {
+                in_cone[v] = 1;
+                stack.push_back(v);
+            }
+        }
+    }
+    for (uint32_t var = 1; var <= root_var; ++var) {
+        if (!in_cone[var] || !aig.isAnd(var))
+            continue;
+        const Aig::Node &n = aig.node(var);
+        const Lit g = var << 1;
+        // g -> a, g -> b, (a & b) -> g.
+        solver.addClause({litNot(g), n.a});
+        solver.addClause({litNot(g), n.b});
+        solver.addClause({g, litNot(n.a), litNot(n.b)});
+    }
+    solver.addClause({root});
+    return root_var + 1;
+}
+
+} // namespace sym
+} // namespace hydride

@@ -1,0 +1,267 @@
+#include "analysis/symbolic/sym_eval.h"
+
+namespace hydride {
+namespace sym {
+
+// ---- AigDomain ----------------------------------------------------------
+
+SymVec
+AigDomain::binOp(BVBinOp op, const SymVec &a, const SymVec &b)
+{
+    switch (op) {
+      case BVBinOp::Add: return svAdd(aig_, a, b);
+      case BVBinOp::Sub: return svSub(aig_, a, b);
+      case BVBinOp::Mul: return svMul(aig_, a, b);
+      case BVBinOp::UDiv: return svUdiv(aig_, a, b);
+      case BVBinOp::URem: return svUrem(aig_, a, b);
+      case BVBinOp::And: return svAnd(aig_, a, b);
+      case BVBinOp::Or: return svOr(aig_, a, b);
+      case BVBinOp::Xor: return svXor(aig_, a, b);
+      case BVBinOp::Shl: return svShl(aig_, a, b);
+      case BVBinOp::LShr: return svLShr(aig_, a, b);
+      case BVBinOp::AShr: return svAShr(aig_, a, b);
+      case BVBinOp::AddSatS: return svAddSatS(aig_, a, b);
+      case BVBinOp::AddSatU: return svAddSatU(aig_, a, b);
+      case BVBinOp::SubSatS: return svSubSatS(aig_, a, b);
+      case BVBinOp::SubSatU: return svSubSatU(aig_, a, b);
+      case BVBinOp::MinS: return svMinS(aig_, a, b);
+      case BVBinOp::MaxS: return svMaxS(aig_, a, b);
+      case BVBinOp::MinU: return svMinU(aig_, a, b);
+      case BVBinOp::MaxU: return svMaxU(aig_, a, b);
+      case BVBinOp::AvgU: return svAvgU(aig_, a, b);
+      case BVBinOp::AvgS: return svAvgS(aig_, a, b);
+    }
+    HYD_ASSERT(false, "unknown BVBinOp in symbolic evaluation");
+    return SymVec();
+}
+
+SymVec
+AigDomain::unOp(BVUnOp op, const SymVec &a)
+{
+    switch (op) {
+      case BVUnOp::Not: return svNot(aig_, a);
+      case BVUnOp::Neg: return svNeg(aig_, a);
+      case BVUnOp::AbsS: return svAbsS(aig_, a);
+      case BVUnOp::Popcount: return svPopcount(aig_, a);
+    }
+    HYD_ASSERT(false, "unknown BVUnOp in symbolic evaluation");
+    return SymVec();
+}
+
+SymVec
+AigDomain::cast(BVCastOp op, const SymVec &a, int width)
+{
+    switch (op) {
+      case BVCastOp::SExt: return svSext(a, width);
+      case BVCastOp::ZExt: return svZext(a, width);
+      case BVCastOp::Trunc: return svTrunc(a, width);
+      case BVCastOp::SatNarrowS: return svSatNarrowS(aig_, a, width);
+      case BVCastOp::SatNarrowU: return svSatNarrowU(aig_, a, width);
+    }
+    HYD_ASSERT(false, "unknown BVCastOp in symbolic evaluation");
+    return SymVec();
+}
+
+SymVec
+AigDomain::extract(const SymVec &a, int low, int count)
+{
+    return svExtract(a, low, count);
+}
+
+SymVec
+AigDomain::concat(const SymVec &high, const SymVec &low)
+{
+    return svConcat(high, low);
+}
+
+SymVec
+AigDomain::cmp(BVCmpOp op, const SymVec &a, const SymVec &b)
+{
+    Lit result = kFalseLit;
+    switch (op) {
+      case BVCmpOp::Eq: result = svEqLit(aig_, a, b); break;
+      case BVCmpOp::Ne: result = litNot(svEqLit(aig_, a, b)); break;
+      case BVCmpOp::Ult: result = svUltLit(aig_, a, b); break;
+      case BVCmpOp::Ule: result = svUleLit(aig_, a, b); break;
+      case BVCmpOp::Slt: result = svSltLit(aig_, a, b); break;
+      case BVCmpOp::Sle: result = svSleLit(aig_, a, b); break;
+    }
+    SymVec out(1);
+    out.bits[0] = result;
+    return out;
+}
+
+SymVec
+AigDomain::select(const SymVec &cond, const SymVec &t, const SymVec &e)
+{
+    return svSelect(aig_, cond, t, e);
+}
+
+int
+AigDomain::knownBool(const SymVec &v) const
+{
+    bool all_false = true;
+    for (Lit bit : v.bits) {
+        if (bit == kTrueLit)
+            return 1; // A constant-one bit makes the value nonzero.
+        all_false = all_false && bit == kFalseLit;
+    }
+    return all_false ? 0 : -1;
+}
+
+SymVec
+AigDomain::shiftConst(BVBinOp op, const SymVec &a, int amount)
+{
+    switch (op) {
+      case BVBinOp::Shl: return svShlConst(a, amount);
+      case BVBinOp::LShr: return svLShrConst(a, amount);
+      case BVBinOp::AShr: return svAShrConst(a, amount);
+      default:
+        break;
+    }
+    HYD_ASSERT(false, "shiftConst on a non-shift operator");
+    return SymVec();
+}
+
+// ---- KnownBitsDomain ----------------------------------------------------
+
+namespace {
+
+/** Fall back to exact concrete evaluation when everything is known. */
+bool
+bothKnown(const KnownBits &a, const KnownBits &b)
+{
+    return a.fullyKnown() && b.fullyKnown();
+}
+
+} // namespace
+
+KnownBits
+KnownBitsDomain::binOp(BVBinOp op, const KnownBits &a, const KnownBits &b)
+{
+    switch (op) {
+      case BVBinOp::Add: return kbAdd(a, b);
+      case BVBinOp::Sub: return kbSub(a, b);
+      case BVBinOp::And: return kbAnd(a, b);
+      case BVBinOp::Or: return kbOr(a, b);
+      case BVBinOp::Xor: return kbXor(a, b);
+      case BVBinOp::Shl:
+        if (b.fullyKnown())
+            return kbShl(a, shiftAmountOf(b.concreteValue()));
+        break;
+      case BVBinOp::LShr:
+        if (b.fullyKnown())
+            return kbLShr(a, shiftAmountOf(b.concreteValue()));
+        break;
+      case BVBinOp::AShr:
+        if (b.fullyKnown())
+            return kbAShr(a, shiftAmountOf(b.concreteValue()));
+        break;
+      default:
+        break;
+    }
+    // Remaining ops: exact when fully known, top otherwise — those
+    // queries are decided by the AIG/SAT tier instead.
+    if (bothKnown(a, b))
+        return KnownBits::constant(
+            applyBVBinOp(op, a.concreteValue(), b.concreteValue()));
+    return KnownBits::top(a.width());
+}
+
+KnownBits
+KnownBitsDomain::unOp(BVUnOp op, const KnownBits &a)
+{
+    switch (op) {
+      case BVUnOp::Not: return kbNot(a);
+      case BVUnOp::Neg: return kbNeg(a);
+      case BVUnOp::AbsS:
+        if (a.fullyKnown())
+            return KnownBits::constant(a.concreteValue().absS());
+        return KnownBits::top(a.width());
+      case BVUnOp::Popcount:
+        if (a.fullyKnown())
+            return KnownBits::constant(a.concreteValue().popcount());
+        return KnownBits::top(a.width());
+    }
+    HYD_ASSERT(false, "unknown BVUnOp in known-bits evaluation");
+    return KnownBits();
+}
+
+KnownBits
+KnownBitsDomain::cast(BVCastOp op, const KnownBits &a, int width)
+{
+    switch (op) {
+      case BVCastOp::SExt: return kbSext(a, width);
+      case BVCastOp::ZExt: return kbZext(a, width);
+      case BVCastOp::Trunc: return kbTrunc(a, width);
+      case BVCastOp::SatNarrowS:
+        if (a.fullyKnown())
+            return KnownBits::constant(a.concreteValue().satNarrowS(width));
+        return KnownBits::top(width);
+      case BVCastOp::SatNarrowU:
+        if (a.fullyKnown())
+            return KnownBits::constant(a.concreteValue().satNarrowU(width));
+        return KnownBits::top(width);
+    }
+    HYD_ASSERT(false, "unknown BVCastOp in known-bits evaluation");
+    return KnownBits();
+}
+
+KnownBits
+KnownBitsDomain::extract(const KnownBits &a, int low, int count)
+{
+    return kbExtract(a, low, count);
+}
+
+KnownBits
+KnownBitsDomain::concat(const KnownBits &high, const KnownBits &low)
+{
+    return kbConcat(high, low);
+}
+
+KnownBits
+KnownBitsDomain::cmp(BVCmpOp op, const KnownBits &a, const KnownBits &b)
+{
+    switch (op) {
+      case BVCmpOp::Eq: return kbEq(a, b);
+      case BVCmpOp::Ne: return kbNe(a, b);
+      case BVCmpOp::Ult: return kbUlt(a, b);
+      case BVCmpOp::Ule: return kbUle(a, b);
+      case BVCmpOp::Slt: return kbSlt(a, b);
+      case BVCmpOp::Sle: return kbSle(a, b);
+    }
+    HYD_ASSERT(false, "unknown BVCmpOp in known-bits evaluation");
+    return KnownBits();
+}
+
+KnownBits
+KnownBitsDomain::select(const KnownBits &cond, const KnownBits &t,
+                        const KnownBits &e)
+{
+    return kbSelect(cond, t, e);
+}
+
+int
+KnownBitsDomain::knownBool(const KnownBits &v) const
+{
+    if (!v.value.isZero())
+        return 1; // Some bit is known one.
+    return v.fullyKnown() ? 0 : -1;
+}
+
+KnownBits
+KnownBitsDomain::shiftConst(BVBinOp op, const KnownBits &a, int amount)
+{
+    switch (op) {
+      case BVBinOp::Shl: return kbShl(a, amount);
+      case BVBinOp::LShr: return kbLShr(a, amount);
+      case BVBinOp::AShr: return kbAShr(a, amount);
+      default:
+        break;
+    }
+    HYD_ASSERT(false, "shiftConst on a non-shift operator");
+    return KnownBits();
+}
+
+} // namespace sym
+} // namespace hydride

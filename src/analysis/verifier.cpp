@@ -1,5 +1,6 @@
 #include "analysis/verifier.h"
 
+#include "analysis/equiv_pass.h"
 #include "codegen/macro_expand.h"
 #include "halide/hexpr.h"
 #include "observability/metrics.h"
@@ -22,16 +23,49 @@ verifierPasses()
          false},
         {"crosstable", "AutoLLVM / lowering-table consistency",
          "XT01..XT09", true},
+        {"equiv", "symbolic translation validation", "EQ01..EQ04", true,
+         /*on_by_default=*/false},
     };
     return passes;
+}
+
+int
+EquivStats::totalProved() const
+{
+    int n = 0;
+    for (const auto &[rule, count] : proved)
+        n += count;
+    return n;
+}
+
+int
+EquivStats::totalRefuted() const
+{
+    int n = 0;
+    for (const auto &[rule, count] : refuted)
+        n += count;
+    return n;
+}
+
+int
+EquivStats::totalUnknown() const
+{
+    int n = 0;
+    for (const auto &[rule, count] : unknown)
+        n += count;
+    return n;
 }
 
 bool
 VerifierOptions::runsPass(const std::string &id) const
 {
-    if (pass_ids.empty())
-        return true;
-    return std::find(pass_ids.begin(), pass_ids.end(), id) != pass_ids.end();
+    if (!pass_ids.empty())
+        return std::find(pass_ids.begin(), pass_ids.end(), id) !=
+               pass_ids.end();
+    for (const PassInfo &pass : verifierPasses())
+        if (pass.id == id)
+            return pass.on_by_default;
+    return false;
 }
 
 namespace {
@@ -348,6 +382,9 @@ runVerifier(const VerifyInput &input, const VerifierOptions &options,
 
     if (input.dict && options.runsPass("crosstable"))
         runCrossTablePass(input, options, report);
+
+    if (input.dict && options.runsPass("equiv"))
+        runEquivPass(input, options, report);
 
     // InstChecker::run() counts analysis.verify.instructions itself
     // (including the class representatives the crosstable pass checks).

@@ -18,6 +18,14 @@
  *    ISA, parameters), every variant lowers to its own ISA, lowered
  *    programs are SSA-acyclic, and the macro-expansion fallback
  *    covers basic arithmetic on every ingested ISA.
+ *  - `equiv`      — symbolic translation validation (EQ rules; see
+ *    equiv_pass.cpp and docs/symbolic_engine.md): every
+ *    similarity-class member is proved equivalent to its
+ *    parameterized representative (EQ01), every lowering round-trips
+ *    as the identity (EQ02), macro-expansion output matches the
+ *    Halide op it replaces (EQ03), and synthesized programs are
+ *    re-validated against their windows (EQ04). Opt-in — run with
+ *    `--passes equiv` — because exact queries cost SAT time.
  *
  * The per-instruction passes also run over every equivalence-class
  * representative when a dictionary is supplied, so defects introduced
@@ -32,6 +40,7 @@
 
 #include "analysis/diagnostics.h"
 #include "analysis/inst_verify.h"
+#include "analysis/symbolic/equiv.h"
 #include "codegen/lowering.h"
 #include "specs/spec_db.h"
 
@@ -45,6 +54,9 @@ struct PassInfo
     std::string title;
     std::string rules; ///< Rule-id family, e.g. "WF01..WF09".
     bool needs_dict = false;
+    /** Run when no explicit --passes subset was given. The equiv
+     *  pass is opt-in: exact symbolic queries cost SAT time. */
+    bool on_by_default = true;
 };
 
 /** All registered passes, in execution order. */
@@ -57,10 +69,53 @@ struct VerifyInput
     const AutoLLVMDict *dict = nullptr; ///< Needed by `crosstable`.
 };
 
+/** One unresolved (unknown-verdict) equivalence query, kept for the
+ *  budget-honesty summary: unknowns are never counted as passes. */
+struct EquivUnknown
+{
+    std::string rule;    ///< "EQ01".."EQ04".
+    std::string isa;
+    std::string subject; ///< Instruction or window concerned.
+    std::string reason;  ///< Budget or failure hit (EqResult::reason).
+    double seconds = 0.0;
+};
+
+/** Per-rule verdict tallies for the equiv pass. */
+struct EquivStats
+{
+    std::map<std::string, int> proved;
+    std::map<std::string, int> refuted;
+    std::map<std::string, int> unknown;
+    std::vector<EquivUnknown> unknowns;
+    double seconds = 0.0;
+
+    int totalProved() const;
+    int totalRefuted() const;
+    int totalUnknown() const;
+};
+
+/** Configuration of the symbolic translation-validation pass. */
+struct EquivOptions
+{
+    sym::EqBudget budget;
+    /** Rule subset to run (empty = EQ01..EQ04). */
+    std::vector<std::string> rules;
+    /** Only query class members whose instruction name contains this
+     *  substring (EQ01/EQ02; empty = every member). Seeded-mutation
+     *  runs use it to keep `--self-test` fast. */
+    std::string instruction_filter;
+    /** Macro-expansion result-register rotation — the seeded defect
+     *  hook behind `--mutate splice-shift` (EQ03 must catch it). */
+    int expander_splice_skew = 0;
+    /** Optional out-param for verdict tallies. */
+    EquivStats *stats = nullptr;
+};
+
 /** Verifier configuration. */
 struct VerifierOptions
 {
     InstVerifyOptions inst;
+    EquivOptions equiv;
     /** Pass ids to run; empty = every pass the input supports. */
     std::vector<std::string> pass_ids;
     /** Vector register width per ISA for the macro-expansion

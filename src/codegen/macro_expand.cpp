@@ -6,6 +6,8 @@
 #include "support/rng.h"
 #include "support/strings.h"
 
+#include <algorithm>
+
 namespace hydride {
 
 MacroExpander::MacroExpander(const AutoLLVMDict &dict, std::string isa,
@@ -763,6 +765,15 @@ MacroExpander::expand(const HExprPtr &window)
     }
     for (const auto &chunk : value.chunks)
         program_.results.push_back(chunk.ref);
+    if (options_.splice_skew != 0 && program_.results.size() > 1) {
+        // Seeded off-by-one lane-splice defect: the program computes
+        // the right registers but concatenates them out of order.
+        const size_t skew = static_cast<size_t>(options_.splice_skew) %
+                            program_.results.size();
+        std::rotate(program_.results.begin(),
+                    program_.results.begin() + skew,
+                    program_.results.end());
+    }
     result.ok = true;
     result.program = std::move(program_);
     return result;

@@ -50,6 +50,12 @@ struct ExpanderOptions
      * HVX/ARM instructions Rake supports.
      */
     std::function<bool(const std::string &inst_name)> allow;
+    /**
+     * Rotate the result-register splice by this many positions — a
+     * seeded defect (`hydride-verify --mutate splice-shift`) that the
+     * symbolic EQ03 rule must catch. 0 in production.
+     */
+    int splice_skew = 0;
 };
 
 /** Expansion outcome. */

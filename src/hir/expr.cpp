@@ -90,9 +90,14 @@ applyIntBin(IntBinOp op, int64_t a, int64_t b)
       case IntBinOp::Mul: return a * b;
       case IntBinOp::Div:
         HYD_ASSERT(b != 0, "integer division by zero in Hydride IR");
+        // INT64_MIN / -1 overflows (C++ UB); wrap like the bitvector ops.
+        if (a == INT64_MIN && b == -1)
+            return INT64_MIN;
         return a / b;
       case IntBinOp::Mod:
         HYD_ASSERT(b != 0, "integer modulo by zero in Hydride IR");
+        if (a == INT64_MIN && b == -1)
+            return 0;
         return a % b;
       case IntBinOp::Min: return std::min(a, b);
       case IntBinOp::Max: return std::max(a, b);
@@ -336,10 +341,8 @@ evalInt(const ExprPtr &expr, const EvalEnv &env)
     }
 }
 
-namespace {
-
 int
-shiftAmount(const BitVector &amount)
+shiftAmountOf(const BitVector &amount)
 {
     // Clamp enormous shift amounts: any amount >= width behaves like
     // width (full shift-out), and width <= kMaxWidth.
@@ -356,7 +359,7 @@ shiftAmount(const BitVector &amount)
 }
 
 BitVector
-applyBVBin(BVBinOp op, const BitVector &a, const BitVector &b)
+applyBVBinOp(BVBinOp op, const BitVector &a, const BitVector &b)
 {
     switch (op) {
       case BVBinOp::Add: return a.add(b);
@@ -367,9 +370,9 @@ applyBVBin(BVBinOp op, const BitVector &a, const BitVector &b)
       case BVBinOp::And: return a.bvand(b);
       case BVBinOp::Or: return a.bvor(b);
       case BVBinOp::Xor: return a.bvxor(b);
-      case BVBinOp::Shl: return a.shl(shiftAmount(b));
-      case BVBinOp::LShr: return a.lshr(shiftAmount(b));
-      case BVBinOp::AShr: return a.ashr(shiftAmount(b));
+      case BVBinOp::Shl: return a.shl(shiftAmountOf(b));
+      case BVBinOp::LShr: return a.lshr(shiftAmountOf(b));
+      case BVBinOp::AShr: return a.ashr(shiftAmountOf(b));
       case BVBinOp::AddSatS: return a.addSatS(b);
       case BVBinOp::AddSatU: return a.addSatU(b);
       case BVBinOp::SubSatS: return a.subSatS(b);
@@ -383,8 +386,6 @@ applyBVBin(BVBinOp op, const BitVector &a, const BitVector &b)
     }
     panic("unknown BVBinOp");
 }
-
-} // namespace
 
 BitVector
 evalBV(const ExprPtr &expr, const EvalEnv &env)
@@ -406,7 +407,7 @@ evalBV(const ExprPtr &expr, const EvalEnv &env)
         const BitVector b = evalBV(expr->kids[1], env);
         HYD_ASSERT(a.width() == b.width(),
                    "bvBin operand width mismatch during evaluation");
-        return applyBVBin(static_cast<BVBinOp>(expr->value), a, b);
+        return applyBVBinOp(static_cast<BVBinOp>(expr->value), a, b);
       }
       case ExprKind::BVUn: {
         const BitVector a = evalBV(expr->kids[0], env);

@@ -188,6 +188,17 @@ int64_t evalInt(const ExprPtr &expr, const EvalEnv &env);
 /** Evaluate a BV-typed expression. */
 BitVector evalBV(const ExprPtr &expr, const EvalEnv &env);
 
+/**
+ * The shift-amount clamp used when evaluating Shl/LShr/AShr: amounts
+ * >= kMaxWidth (or with any high word bit set) behave as a full
+ * shift-out. Exposed so the symbolic evaluator mirrors it exactly.
+ */
+int shiftAmountOf(const BitVector &amount);
+
+/** Apply a BV binary operator exactly as evalBV does (including the
+ *  shift-amount clamp). Shared with the symbolic evaluator. */
+BitVector applyBVBinOp(BVBinOp op, const BitVector &a, const BitVector &b);
+
 // ---- Rewriting --------------------------------------------------------------
 
 /**

@@ -36,6 +36,24 @@ CanonicalSemantics::argWidth(int index,
     return static_cast<int>(evalInt(bv_args[index].width, env));
 }
 
+const ExprPtr &
+CanonicalSemantics::templateFor(int64_t i, int64_t j) const
+{
+    switch (mode) {
+      case TemplateMode::Uniform:
+        return templates[0];
+      case TemplateMode::ByInner:
+        HYD_ASSERT(j < static_cast<int64_t>(templates.size()),
+                   "inner index exceeds template count");
+        return templates[j];
+      case TemplateMode::ByOuter:
+        HYD_ASSERT(i < static_cast<int64_t>(templates.size()),
+                   "outer index exceeds template count");
+        return templates[i];
+    }
+    panic("unknown TemplateMode");
+}
+
 BitVector
 CanonicalSemantics::evaluate(const std::vector<BitVector> &args,
                              const std::vector<int64_t> &param_values,
@@ -58,25 +76,9 @@ CanonicalSemantics::evaluate(const std::vector<BitVector> &args,
     BitVector out(static_cast<int>(outer * inner * width));
     for (int64_t i = 0; i < outer; ++i) {
         for (int64_t j = 0; j < inner; ++j) {
-            const ExprPtr *tmpl = nullptr;
-            switch (mode) {
-              case TemplateMode::Uniform:
-                tmpl = &templates[0];
-                break;
-              case TemplateMode::ByInner:
-                HYD_ASSERT(j < static_cast<int64_t>(templates.size()),
-                           "inner index exceeds template count");
-                tmpl = &templates[j];
-                break;
-              case TemplateMode::ByOuter:
-                HYD_ASSERT(i < static_cast<int64_t>(templates.size()),
-                           "outer index exceeds template count");
-                tmpl = &templates[i];
-                break;
-            }
             env.loop_i = i;
             env.loop_j = j;
-            BitVector elem = evalBV(*tmpl, env);
+            BitVector elem = evalBV(templateFor(i, j), env);
             HYD_ASSERT(elem.width() == width,
                        "template produced mis-sized element in " + name);
             out.setSlice(static_cast<int>((i * inner + j) * width), elem);

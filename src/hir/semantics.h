@@ -112,6 +112,14 @@ struct CanonicalSemantics
     int argWidth(int index, const std::vector<int64_t> &param_values) const;
 
     /**
+     * The structural template selecting output element (i, j) under
+     * `mode`. Shared by the concrete interpreter and the symbolic
+     * evaluator (analysis/symbolic/sym_eval.h) so the two loop nests
+     * cannot drift apart.
+     */
+    const ExprPtr &templateFor(int64_t i, int64_t j) const;
+
+    /**
      * Execute the canonical semantics: evaluate every output element
      * and assemble the result vector. `int_arg_values` supplies the
      * integer immediates, in `int_args` order.

@@ -30,6 +30,7 @@
 
 #include <string>
 
+#include "analysis/symbolic/equiv.h"
 #include "autollvm/module.h"
 #include "synthesis/grammar.h"
 
@@ -45,10 +46,23 @@ struct SynthesisOptions
     int window_depth = 5;   ///< Max expression depth per window (§4.2).
     int max_bank = 3000;    ///< Value-bank size cap.
     int max_combos = 4000;  ///< Operand-combination cap per op/depth.
-    int verify_vectors = 10; ///< Random vectors per verification.
+    /** Random vectors per verification. 0 disables random sampling
+     *  (including the seed counterexamples) so the loop is driven
+     *  purely by symbolic counterexamples — only meaningful together
+     *  with `symbolic_verify`. */
+    int verify_vectors = 10;
     int cegis_rounds = 10;   ///< Counterexample iterations.
     double timeout_seconds = 20.0;
     uint64_t seed = 0xC0DE;
+    /**
+     * Re-validate candidates symbolically (the paper's SMT
+     * verification): a candidate that survives the random vectors is
+     * checked for equivalence on *all* inputs; a refutation model is
+     * fed back into the counterexample loop, and the winning module
+     * gets a final full-width symbolic check.
+     */
+    bool symbolic_verify = false;
+    sym::EqBudget symbolic_budget;
 };
 
 /** Outcome of synthesizing one window. */
@@ -64,6 +78,14 @@ struct SynthesisResult
     long candidates_rejected = 0; ///< Dedup/bank-full enumeration rejects.
     int scale = 1;
     std::string note;
+    /** Candidates rejected by a symbolic counterexample (only with
+     *  `symbolic_verify`). */
+    int symbolic_refutations = 0;
+    /** Symbolic queries that exhausted their budget. */
+    int symbolic_unknowns = 0;
+    /** Final full-width verdict: "proved", "refuted", "unknown", or
+     *  empty when symbolic verification was off / never reached. */
+    std::string symbolic_verdict;
 };
 
 /** Synthesize one window for one target ISA. */

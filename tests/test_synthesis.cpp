@@ -194,6 +194,58 @@ TEST(Cegis, LaneScalingReportsScaleFactor)
     EXPECT_EQ(unscaled.cost, result.cost);
 }
 
+TEST(Cegis, SymbolicCounterexampleRejectsWrongCandidate)
+{
+    // Starve the random-verification tier (zero vectors): the first
+    // cost-minimal candidate that agrees on the empty counterexample
+    // set "wins" immediately, and only the symbolic check stands
+    // between it and acceptance. The refutation model must be fed back
+    // as a counterexample until the search lands on a genuinely
+    // equivalent program.
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel add = buildKernel("add", schedule);
+    SynthesisOptions options;
+    options.verify_vectors = 0;
+    options.scaling = false;
+    options.symbolic_verify = true;
+    SynthesisResult result =
+        synthesizeWindow(dict(), "x86", add.windows[0], options);
+    ASSERT_TRUE(result.ok) << result.note;
+    EXPECT_GE(result.symbolic_refutations, 1);
+    EXPECT_GE(result.cegis_iterations, 2);
+    EXPECT_EQ(result.symbolic_verdict, "proved");
+    // The survivor really is correct at full width.
+    Rng rng(94);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<BitVector> inputs;
+        for (int w : result.module.input_widths)
+            inputs.push_back(BitVector::random(w, rng));
+        EXPECT_EQ(result.module.evaluate(dict(), inputs),
+                  evalHalide(add.windows[0], inputs));
+    }
+}
+
+TEST(Cegis, SymbolicVerifyProvesTheFullWidthWinner)
+{
+    // Random verification on, symbolic verification as the final
+    // gate: the saturating-add winner must carry a full-width
+    // "proved" verdict with no budget-exhausted queries.
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel add = buildKernel("add", schedule);
+    SynthesisOptions options;
+    options.scaling = false;
+    options.symbolic_verify = true;
+    SynthesisResult result =
+        synthesizeWindow(dict(), "x86", add.windows[0], options);
+    ASSERT_TRUE(result.ok) << result.note;
+    EXPECT_EQ(result.module.insts[0].op.member(dict()).name,
+              "_mm512_adds_epu8");
+    EXPECT_EQ(result.symbolic_verdict, "proved") << result.note;
+    EXPECT_EQ(result.symbolic_unknowns, 0);
+}
+
 TEST(Cache, HitsOnStructurallyIdenticalWindows)
 {
     SynthesisCache cache;

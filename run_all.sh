@@ -13,13 +13,48 @@
 #                            (Debug, -fsanitize=address,undefined, with
 #                            load-time spec verification on) and run
 #                            the tier-1 test suite under it.
+#   ./run_all.sh --chaos     run the fault-injection sweep
+#                            (`hydride-chaos`: every registered fault
+#                            site in a fresh process) plus the
+#                            broken-ladder detection check. Composes
+#                            with --sanitize: `--sanitize --chaos`
+#                            runs the sweep under the sanitizers.
 
 TRACE_MODE=0
+CHAOS_MODE=0
+CHAOS_BUILD=build
+for arg in "$@"; do
+    [ "$arg" = "--chaos" ] && CHAOS_MODE=1
+done
+
+run_chaos() {
+    # The sweep: invariant is "verified degraded compilation or
+    # structured diagnostic, never a crash" for every fault site.
+    echo "===== hydride-chaos sweep ($CHAOS_BUILD) ====="
+    "$CHAOS_BUILD"/tools/hydride-chaos || exit 1
+    # The harness must also *detect* a broken degradation path
+    # (nonzero exit expected — mirrors the WILL_FAIL ctest entry).
+    if "$CHAOS_BUILD"/tools/hydride-chaos --break-ladder \
+            > /dev/null 2>&1; then
+        echo "run_all: chaos harness missed a broken ladder" >&2
+        exit 1
+    fi
+    echo "run_all: chaos sweep passed"
+}
+
 if [ "$1" = "--sanitize" ]; then
     cmake --preset asan-ubsan || exit 1
     cmake --build --preset asan-ubsan -j "$(nproc)" || exit 1
     ctest --preset asan-ubsan -j "$(nproc)" || exit 1
     echo "run_all: sanitizer suite passed"
+    if [ "$CHAOS_MODE" = 1 ]; then
+        CHAOS_BUILD=build/sanitize
+        run_chaos
+    fi
+    exit 0
+fi
+if [ "$1" = "--chaos" ]; then
+    run_chaos
     exit 0
 fi
 if [ "$1" = "--trace" ]; then

@@ -2,6 +2,7 @@
 
 #include "analysis/symbolic/sat.h"
 #include "support/error.h"
+#include "support/faults.h"
 #include "support/rng.h"
 
 #include <algorithm>
@@ -88,6 +89,16 @@ checkEquiv(const BVFun &a, const BVFun &b, const EqBudget &budget)
 
     if (a.arg_widths != b.arg_widths) {
         result.reason = "argument signature mismatch";
+        result.seconds = secondsSince(start);
+        return result;
+    }
+
+    // Chaos seam: a budget-exhausted verdict — `unknown` is already a
+    // first-class outcome of every tier, so injecting it here proves
+    // callers (EQ rules, CEGIS, the resilient driver) treat it as
+    // "no answer", never as a pass.
+    if (faults::shouldFail("symbolic.budget")) {
+        result.reason = "injected budget exhaustion";
         result.seconds = secondsSince(start);
         return result;
     }

@@ -1,6 +1,7 @@
 #include "codegen/lowering.h"
 
 #include "support/error.h"
+#include "support/faults.h"
 #include "support/strings.h"
 
 #include <sstream>
@@ -85,6 +86,13 @@ lowerToTarget(const AutoModule &module, const AutoLLVMDict &dict,
     result.program.input_widths = module.input_widths;
     result.program.constants = module.constants;
     result.program.result = module.result;
+
+    // Chaos seam: lowering failure is an ordinary outcome (the driver
+    // falls back to macro expansion); injecting it exercises that rung.
+    if (faults::shouldFail("lowering.fail")) {
+        result.error = "injected lowering failure";
+        return result;
+    }
 
     for (const auto &inst : module.insts) {
         const EquivalenceClass &cls = dict.cls(inst.op.class_id);

@@ -3,6 +3,7 @@
 #include "observability/metrics.h"
 #include "observability/trace.h"
 #include "support/error.h"
+#include "support/faults.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -737,6 +738,15 @@ MacroExpander::expand(const HExprPtr &window)
     error_.clear();
     ok_ = true;
     cse_.clear();
+
+    // Chaos seam: expansion failure is an ordinary outcome (no
+    // instruction covers the op); injecting it drives callers onto
+    // the scalarization rung.
+    if (faults::shouldFail("macro.fail")) {
+        ExpandResult injected;
+        injected.error = "injected macro-expansion failure";
+        return injected;
+    }
 
     // Record input widths.
     std::vector<const HExpr *> stack = {window.get()};

@@ -1,0 +1,293 @@
+#include "driver/resilience.h"
+
+#include "codegen/lowering.h"
+#include "observability/log.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+#include "support/error.h"
+#include "support/faults.h"
+#include "support/timing.h"
+
+namespace hydride {
+
+const char *
+rungName(Rung rung)
+{
+    switch (rung) {
+    case Rung::Synthesized: return "synthesized";
+    case Rung::Cached: return "cached";
+    case Rung::MacroExpanded: return "macro_expanded";
+    case Rung::Scalarized: return "scalarized";
+    case Rung::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+int
+scalarizedCost(const HExprPtr &window)
+{
+    // Lane-by-lane interpretation of every node: far worse than any
+    // compiled rung, so cost comparisons and Table-4-style totals
+    // make degradation visible instead of hiding it.
+    if (!window)
+        return 0;
+    return HExpr::sizeOf(window) * window->lanes * 4;
+}
+
+BitVector
+evalResilient(const AutoLLVMDict &dict, const ResilientWindow &window,
+              const std::vector<BitVector> &inputs)
+{
+    if (window.rung == Rung::Scalarized)
+        return evalHalide(window.window, inputs);
+    HYD_ASSERT(window.ok, "evalResilient on a failed window");
+    return window.program.evaluate(dict, inputs);
+}
+
+int
+ResilientCompilation::staticCost() const
+{
+    int total = 0;
+    for (const auto &window : windows) {
+        total += window.rung == Rung::Scalarized
+                     ? scalarizedCost(window.window)
+                     : window.program.cost();
+    }
+    return total;
+}
+
+namespace {
+
+/**
+ * Run one ladder stage inside a recovery scope. Anything the stage
+ * throws — a failed HYD_ASSERT, an injected fault, a CompileError
+ * from library code, a bad_alloc from an unbounded search — becomes
+ * a structured diagnostic and a false return; the driver then walks
+ * on to the next rung. `fatal` (process exit) is reserved for
+ * CLI-level argument errors and never reached from these stages.
+ */
+template <typename Fn>
+bool
+barrier(const char *stage, ResilientWindow &out,
+        std::vector<WindowDiagnostic> &diags, Fn &&fn)
+{
+    try {
+        return fn();
+    } catch (const faults::InjectedFault &fault) {
+        diags.push_back({fault.site(),
+                         std::string("injected fault: ") + fault.what()});
+    } catch (const AssertionError &err) {
+        diags.push_back({stage, std::string("assertion: ") + err.what()});
+    } catch (const ParseError &err) {
+        diags.push_back({stage, std::string("parse error: ") + err.what()});
+    } catch (const CompileError &err) {
+        diags.push_back({stage, err.what()});
+    } catch (const std::exception &err) {
+        diags.push_back({stage, err.what()});
+    }
+    out.recovered = true;
+    return false;
+}
+
+} // namespace
+
+ResilientCompiler::ResilientCompiler(const AutoLLVMDict &dict,
+                                     std::string isa, int vector_bits,
+                                     ResilienceOptions options,
+                                     SynthesisCache *cache)
+    : dict_(dict), isa_(std::move(isa)), vector_bits_(vector_bits),
+      options_(std::move(options)), cache_(cache ? cache : &own_cache_),
+      fallback_(dict, isa_, vector_bits)
+{
+}
+
+void
+ResilientCompiler::noteRecovery(ResilientWindow &out,
+                                const std::string &site,
+                                const std::string &detail)
+{
+    out.diagnostics.push_back({site, detail});
+    metrics::counter("resilience.recovered." + site).add();
+}
+
+bool
+ResilientCompiler::tryPrimary(const HExprPtr &window, ResilientWindow &out)
+{
+    std::vector<WindowDiagnostic> diags;
+    const bool success = barrier("stage.primary", out, diags, [&] {
+        // Whole-recovery-scope chaos seam: proves the barrier itself
+        // catches a fault thrown between stages.
+        faults::failPoint("compiler.window");
+
+        if (const SynthesisResult *cached = cache_->lookup(window, isa_)) {
+            if (!cached->ok) {
+                // Negative entry: synthesis already failed for this
+                // shape; skip straight to the fallback rungs.
+                metrics::counter("resilience.negative_cache.skips").add();
+                out.diagnostics.push_back(
+                    {"synthesis.cache",
+                     "negative cache entry; skipping synthesis"});
+                return false;
+            }
+            LoweringResult lowered =
+                lowerToTarget(cached->module, dict_, isa_);
+            if (!lowered.ok) {
+                out.diagnostics.push_back(
+                    {"stage.lowering", "cached result no longer lowers: " +
+                                           lowered.error});
+                return false;
+            }
+            out.rung = Rung::Cached;
+            out.from_cache = true;
+            out.synth = *cached;
+            out.program = std::move(lowered.program);
+            return true;
+        }
+
+        SynthesisResult synth =
+            synthesizeWindow(dict_, isa_, window, options_.synthesis);
+        // The note is "timeout" possibly extended by the unscaled
+        // retry's outcome ("timeout; unscaled retry: ..."), so match
+        // the prefix.
+        if (!synth.ok && synth.note.rfind("timeout", 0) == 0 &&
+            options_.retry_escalated) {
+            // The search was cut off by its deadline rather than
+            // exhausted — more budget can genuinely help. One retry,
+            // escalated; search exhaustion is never retried (a bigger
+            // budget re-walks the same finished grammar).
+            SynthesisOptions escalated = options_.synthesis;
+            escalated.timeout_seconds *= options_.timeout_escalation;
+            escalated.symbolic_budget.max_nodes = static_cast<size_t>(
+                escalated.symbolic_budget.max_nodes *
+                options_.budget_escalation);
+            escalated.symbolic_budget.max_conflicts = static_cast<long>(
+                escalated.symbolic_budget.max_conflicts *
+                options_.budget_escalation);
+            out.retries = 1;
+            metrics::counter("resilience.retries").add();
+            SynthesisResult retried =
+                synthesizeWindow(dict_, isa_, window, escalated);
+            if (retried.ok)
+                synth = std::move(retried);
+        }
+        cache_->insert(window, isa_, synth);
+        if (!synth.ok) {
+            out.diagnostics.push_back(
+                {"stage.synthesis", "synthesis failed: " + synth.note});
+            return false;
+        }
+        LoweringResult lowered = lowerToTarget(synth.module, dict_, isa_);
+        if (!lowered.ok) {
+            out.diagnostics.push_back(
+                {"stage.lowering",
+                 "synthesized window does not lower: " + lowered.error});
+            return false;
+        }
+        out.rung = Rung::Synthesized;
+        out.synth = std::move(synth);
+        out.program = std::move(lowered.program);
+        return true;
+    });
+    for (auto &diag : diags)
+        noteRecovery(out, diag.site, diag.detail);
+    return success;
+}
+
+bool
+ResilientCompiler::tryMacro(const HExprPtr &window, ResilientWindow &out)
+{
+    std::vector<WindowDiagnostic> diags;
+    const bool success = barrier("stage.macro", out, diags, [&] {
+        ExpandResult expanded = fallback_.expand(window);
+        if (!expanded.ok) {
+            out.diagnostics.push_back(
+                {"stage.macro", "macro expansion failed: " + expanded.error});
+            return false;
+        }
+        out.rung = Rung::MacroExpanded;
+        out.program = std::move(expanded.program);
+        return true;
+    });
+    for (auto &diag : diags)
+        noteRecovery(out, diag.site, diag.detail);
+    return success;
+}
+
+ResilientWindow
+ResilientCompiler::compileWindow(const HExprPtr &window)
+{
+    ResilientWindow out;
+    out.window = window;
+    Stopwatch watch;
+    trace::TraceSpan span("driver.resilience.window");
+    span.setAttr("isa", isa_);
+    metrics::counter("resilience.windows").add();
+
+    out.ok = tryPrimary(window, out);
+    if (!out.ok && options_.allow_macro_fallback)
+        out.ok = tryMacro(window, out);
+    if (!out.ok && options_.allow_scalarized) {
+        // The rung of last resort cannot fail: the window *is* its
+        // own specification, evaluated directly by evalHalide.
+        out.rung = Rung::Scalarized;
+        out.program = TargetProgram{};
+        out.ok = true;
+    }
+    if (!out.ok) {
+        out.rung = Rung::Failed;
+        metrics::counter("resilience.failed_windows").add();
+        HYD_LOG(Warn, "window failed every enabled rung on " + isa_ +
+                          (out.diagnostics.empty()
+                               ? std::string()
+                               : ": " + out.diagnostics.back().detail));
+    }
+    if (out.rung != Rung::Synthesized && out.rung != Rung::Cached)
+        metrics::counter("resilience.degradations").add();
+    metrics::counter(std::string("resilience.rung.") + rungName(out.rung))
+        .add();
+
+    out.seconds = watch.seconds();
+    span.setAttr("rung", rungName(out.rung));
+    span.setAttr("retries", out.retries);
+    span.setAttr("from_cache", out.from_cache);
+    span.setAttr("recovered", out.recovered);
+    span.setAttr("diagnostics",
+                 static_cast<int64_t>(out.diagnostics.size()));
+    return out;
+}
+
+ResilientCompilation
+ResilientCompiler::compile(const Kernel &kernel)
+{
+    ResilientCompilation out;
+    out.kernel = kernel.name;
+    out.isa = isa_;
+    trace::TraceSpan span("driver.resilience.kernel");
+    span.setAttr("kernel", kernel.name);
+    span.setAttr("isa", isa_);
+    Stopwatch watch;
+    for (size_t w = 0; w < kernel.windows.size(); ++w) {
+        const HExprPtr &window = kernel.windows[w];
+        std::vector<HExprPtr> pieces =
+            splitWindow(window, options_.synthesis.window_depth,
+                        halideInputCount(window), vector_bits_);
+        for (const auto &piece : pieces) {
+            ResilientWindow compiled = compileWindow(piece);
+            out.degraded_windows += (compiled.rung != Rung::Synthesized &&
+                                     compiled.rung != Rung::Cached)
+                                        ? 1
+                                        : 0;
+            out.failed_windows += compiled.ok ? 0 : 1;
+            out.windows.push_back(std::move(compiled));
+            out.pieces.push_back(piece);
+            out.piece_group.push_back(static_cast<int>(w));
+        }
+    }
+    out.compile_seconds = watch.seconds();
+    span.setAttr("pieces", static_cast<int64_t>(out.pieces.size()));
+    span.setAttr("degraded", out.degraded_windows);
+    span.setAttr("failed", out.failed_windows);
+    return out;
+}
+
+} // namespace hydride

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The resilient compilation driver: per-window error barriers with a
+ * guaranteed degradation ladder.
+ *
+ * `HydrideCompiler` (synthesis/compiler.h) implements the paper's
+ * happy path: cache -> synthesis -> lowering, with macro expansion as
+ * the one fallback. This driver wraps the same components in a
+ * *recovery scope* per window: any stage may throw (a failed
+ * invariant, an injected fault from support/faults.h, an exhausted
+ * budget) or simply report failure, and the driver walks down a fixed
+ * ladder until something succeeds:
+ *
+ *   Synthesized  — CEGIS found a program and it lowered (best).
+ *   Cached       — a previous synthesis result was reused.
+ *   MacroExpanded— per-operation instruction selection (the baseline
+ *                  compiler's output; correct, usually slower).
+ *   Scalarized   — the window is kept as a Halide expression and
+ *                  evaluated directly (evalHalide). Trivially
+ *                  equivalent to the spec by construction, with a
+ *                  punitive static cost; the rung of last resort.
+ *   Failed       — only when scalarization is explicitly disabled;
+ *                  carries structured diagnostics, never an abort.
+ *
+ * The invariant the chaos harness (tools/hydride_chaos.cpp) checks:
+ * for every registered fault site, compilation through this driver
+ * either produces a verified-equivalent (possibly degraded) program
+ * or a structured diagnostic — never a crash, process exit, or
+ * silently wrong code.
+ *
+ * Every degradation is observable: `resilience.*` metrics count
+ * windows per rung, recoveries per fault site, and escalated
+ * retries; the `driver.resilience.window` trace span records the
+ * rung each window landed on.
+ */
+#ifndef HYDRIDE_DRIVER_RESILIENCE_H
+#define HYDRIDE_DRIVER_RESILIENCE_H
+
+#include <string>
+#include <vector>
+
+#include "synthesis/compiler.h"
+
+namespace hydride {
+
+/** The degradation ladder, best rung first. */
+enum class Rung {
+    Synthesized,
+    Cached,
+    MacroExpanded,
+    Scalarized,
+    Failed,
+};
+
+/** Stable lower-case rung name ("synthesized", ...). */
+const char *rungName(Rung rung);
+
+/** Driver policy knobs. */
+struct ResilienceOptions
+{
+    SynthesisOptions synthesis;
+    /**
+     * When synthesis fails specifically on its deadline (not search
+     * exhaustion — escalation cannot help an exhausted grammar),
+     * retry once with the budgets below multiplied in.
+     */
+    bool retry_escalated = true;
+    double timeout_escalation = 4.0;
+    double budget_escalation = 4.0;
+    /** Disable rungs (the chaos harness's --break-ladder mode uses
+     *  these to prove the harness detects a broken ladder). */
+    bool allow_macro_fallback = true;
+    bool allow_scalarized = true;
+};
+
+/** One recovered failure on the way down the ladder. */
+struct WindowDiagnostic
+{
+    /** Fault site or stage name ("cegis.timeout", "stage.lowering"). */
+    std::string site;
+    std::string detail;
+};
+
+/** Outcome of resiliently compiling one window. */
+struct ResilientWindow
+{
+    Rung rung = Rung::Failed;
+    bool ok = false;
+    bool from_cache = false;
+    /** Escalated synthesis retries performed (0 or 1). */
+    int retries = 0;
+    /** A caught error was degraded past (ok may still be true). */
+    bool recovered = false;
+    /** Target program; empty for the Scalarized and Failed rungs. */
+    TargetProgram program;
+    /** The window itself (evalResilient needs it for Scalarized). */
+    HExprPtr window;
+    SynthesisResult synth; ///< Valid when rung == Synthesized/Cached.
+    double seconds = 0.0;
+    std::vector<WindowDiagnostic> diagnostics;
+};
+
+/** Outcome of resiliently compiling a whole kernel. */
+struct ResilientCompilation
+{
+    std::string kernel;
+    std::string isa;
+    std::vector<ResilientWindow> windows;
+    /** Effective (split) pieces, one per entry of `windows`. */
+    std::vector<HExprPtr> pieces;
+    std::vector<int> piece_group;
+    double compile_seconds = 0.0;
+    /** Windows below the Synthesized/Cached rungs. */
+    int degraded_windows = 0;
+    int failed_windows = 0;
+
+    bool allOk() const { return failed_windows == 0; }
+
+    /** Static cost across windows (scalarized rungs use
+     *  scalarizedCost, so degradation is visible in the total). */
+    int staticCost() const;
+};
+
+/** Punitive static cost of interpreting a window lane by lane. */
+int scalarizedCost(const HExprPtr &window);
+
+/**
+ * Evaluate a resiliently compiled window on concrete inputs,
+ * dispatching on the rung (target-program semantics for compiled
+ * rungs, direct Halide evaluation for Scalarized). The chaos
+ * harness verifies every rung through this one entry point.
+ */
+BitVector evalResilient(const AutoLLVMDict &dict,
+                        const ResilientWindow &window,
+                        const std::vector<BitVector> &inputs);
+
+/** Error-barrier compiler with the guaranteed degradation ladder. */
+class ResilientCompiler
+{
+  public:
+    ResilientCompiler(const AutoLLVMDict &dict, std::string isa,
+                      int vector_bits, ResilienceOptions options = {},
+                      SynthesisCache *cache = nullptr);
+
+    /** Compile one window; never throws, never exits. */
+    ResilientWindow compileWindow(const HExprPtr &window);
+
+    /** Compile a whole kernel through per-window recovery scopes. */
+    ResilientCompilation compile(const Kernel &kernel);
+
+    const AutoLLVMDict &dict() const { return dict_; }
+
+  private:
+    /** Cache/synthesis/lowering — the Synthesized and Cached rungs. */
+    bool tryPrimary(const HExprPtr &window, ResilientWindow &out);
+    /** The MacroExpanded rung. */
+    bool tryMacro(const HExprPtr &window, ResilientWindow &out);
+    void noteRecovery(ResilientWindow &out, const std::string &site,
+                      const std::string &detail);
+
+    const AutoLLVMDict &dict_;
+    std::string isa_;
+    int vector_bits_;
+    ResilienceOptions options_;
+    SynthesisCache *cache_;
+    SynthesisCache own_cache_;
+    MacroExpander fallback_;
+};
+
+} // namespace hydride
+
+#endif // HYDRIDE_DRIVER_RESILIENCE_H

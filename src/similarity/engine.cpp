@@ -4,6 +4,7 @@
 #include "observability/trace.h"
 #include "similarity/extraction.h"
 #include "support/error.h"
+#include "support/faults.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -315,7 +316,10 @@ runSimilarityEngine(const std::vector<CanonicalSemantics> &insts,
     for (auto &cls : classes) {
         std::vector<ClassMember> verified;
         for (auto &member : cls.members) {
-            if (verifyMember(cls.rep, member, options.verify_trials)) {
+            // Chaos seam: a forced verification failure exercises the
+            // conservative singleton-split fallback for this member.
+            if (!faults::shouldFail("similarity.verify", member.name) &&
+                verifyMember(cls.rep, member, options.verify_trials)) {
                 verified.push_back(std::move(member));
             } else {
                 ++stats->verification_failures;

@@ -155,8 +155,10 @@ void
 TokenCursor::fail(const std::string &message) const
 {
     metrics::counter("specs.parser.diagnostics").add();
-    fatal(source_name_ + ":" + std::to_string(peek().line) +
-          ": parse error: " + message);
+    // Malformed pseudocode is recoverable library input: throw a
+    // structured error (SpecDB skips the instruction) instead of
+    // exiting the process from library code.
+    throw ParseError(source_name_, peek().line, message);
 }
 
 } // namespace hydride

@@ -11,6 +11,7 @@
 #include "specs/x86_manual.h"
 #include "specs/x86_parser.h"
 #include "support/error.h"
+#include "support/faults.h"
 
 #include <map>
 #include <mutex>
@@ -52,6 +53,11 @@ SpecFunction
 parseInst(const std::string &isa, const InstDef &inst)
 {
     metrics::counter("specs.parser." + isa + ".instructions").add();
+    // Chaos seam: a keyed clause (`parser.malformed=vadd_s16`) makes
+    // this one instruction read as malformed vendor pseudocode.
+    if (faults::shouldFail("parser.malformed", inst.name))
+        throw ParseError(isa + ":" + inst.name, 1,
+                         "injected malformed pseudocode");
     if (isa == "x86")
         return parseX86Inst(inst);
     if (isa == "hvx")
@@ -76,26 +82,53 @@ isaSemantics(const std::string &isa)
     IsaSemantics sema;
     sema.isa = isa;
     const bool verify = analysis::loadTimeVerifyEnabled();
+    static metrics::Counter &parse_failures =
+        metrics::counter("specs.parse.failures");
     for (const auto &inst : isaManual(isa).insts) {
-        SpecFunction fn = parseInst(isa, inst);
-        CanonicalizeResult result = canonicalize(fn);
-        if (!result.ok) {
-            fatal("canonicalization failed for " + isa + ":" + inst.name +
-                  ": " + result.error);
-        }
-        if (verify) {
-            // Debug-mode assertion: the cheap per-instruction passes
-            // must come back clean on everything we hand downstream.
-            analysis::DiagnosticReport report;
-            analysis::verifyInstruction(
-                result.sem, analysis::kWellFormed | analysis::kUndefined,
-                {}, report);
-            if (report.hasErrors()) {
-                fatal("load-time verification failed for " + isa + ":" +
-                      inst.name + ":\n" + report.renderText());
+        // A malformed vendor spec must not kill the process: skip the
+        // offending instruction with a structured warning citing the
+        // pseudocode location and keep building the database. The
+        // rest of the pipeline degrades gracefully (one fewer
+        // instruction to merge / synthesize with).
+        try {
+            SpecFunction fn = parseInst(isa, inst);
+            if (faults::shouldFail("specdb.corrupt", inst.name))
+                throw ParseError(isa + ":" + inst.name, 1,
+                                 "injected corrupt canonical form");
+            CanonicalizeResult result = canonicalize(fn);
+            if (!result.ok) {
+                parse_failures.add();
+                warn("skipping " + isa + ":" + inst.name +
+                     ": canonicalization failed: " + result.error);
+                continue;
             }
+            if (verify) {
+                // Debug-mode assertion: the cheap per-instruction
+                // passes must come back clean on everything we hand
+                // downstream.
+                analysis::DiagnosticReport report;
+                analysis::verifyInstruction(
+                    result.sem,
+                    analysis::kWellFormed | analysis::kUndefined, {},
+                    report);
+                if (report.hasErrors()) {
+                    parse_failures.add();
+                    warn("skipping " + isa + ":" + inst.name +
+                         ": load-time verification failed:\n" +
+                         report.renderText());
+                    continue;
+                }
+            }
+            sema.insts.push_back(std::move(result.sem));
+        } catch (const ParseError &error) {
+            parse_failures.add();
+            warn("skipping " + isa + ":" + inst.name + ": " +
+                 error.what());
+        } catch (const AssertionError &error) {
+            parse_failures.add();
+            warn("skipping " + isa + ":" + inst.name + ": " +
+                 error.what());
         }
-        sema.insts.push_back(std::move(result.sem));
     }
     span.setAttr("instructions", static_cast<int64_t>(sema.insts.size()));
     static metrics::Counter &parsed =

@@ -33,6 +33,13 @@ AssertionError::AssertionError(std::string message)
 {
 }
 
+ParseError::ParseError(std::string source, int line, std::string message)
+    : source_(std::move(source)), line_(line), message_(std::move(message)),
+      full_(source_ + ":" + std::to_string(line_) + ": parse error: " +
+            message_)
+{
+}
+
 namespace detail {
 
 void

@@ -12,6 +12,7 @@
 #define HYDRIDE_SUPPORT_ERROR_H
 
 #include <exception>
+#include <stdexcept>
 #include <string>
 
 namespace hydride {
@@ -39,6 +40,47 @@ class AssertionError : public std::exception
 
   private:
     std::string message_;
+};
+
+/**
+ * Thrown by the dialect parsers on malformed vendor pseudocode.
+ * Parsing is library code driven by external data, so a bad spec must
+ * be recoverable: SpecDB construction catches this per instruction,
+ * skips the offender with a structured warning, and keeps going.
+ * `fatal` remains for CLI-level argument errors only.
+ */
+class ParseError : public std::exception
+{
+  public:
+    ParseError(std::string source, int line, std::string message);
+    const char *what() const noexcept override { return full_.c_str(); }
+
+    /** The "<dialect>:<instruction>" unit the error came from. */
+    const std::string &source() const { return source_; }
+    /** 1-based pseudocode line of the offending token. */
+    int line() const { return line_; }
+    const std::string &message() const { return message_; }
+
+  private:
+    std::string source_;
+    int line_;
+    std::string message_;
+    std::string full_;
+};
+
+/**
+ * Thrown when a compilation stage cannot produce code for a window
+ * and has no further fallback of its own. Library code throws this
+ * instead of exiting; the resilient driver's error barrier turns it
+ * into a degradation-ladder step or a structured diagnostic.
+ */
+class CompileError : public std::runtime_error
+{
+  public:
+    explicit CompileError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
 };
 
 namespace detail {

@@ -1,9 +1,15 @@
 #include "synthesis/cache.h"
 
+#include "observability/log.h"
 #include "observability/metrics.h"
+#include "support/faults.h"
 #include "support/strings.h"
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
+
+#include <unistd.h>
 
 namespace hydride {
 
@@ -63,44 +69,163 @@ dictFingerprint(const AutoLLVMDict &dict)
     return h;
 }
 
+/** FNV-1a over an entry's serialized text — the per-entry checksum
+ *  that lets the loader detect bit flips and truncation. */
+uint64_t
+entryChecksum(const std::string &text)
+{
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (unsigned char c : text)
+        h = (h ^ c) * 0x100000001B3ull;
+    return h;
+}
+
+/** One entry's serialized block (everything the checksum covers). */
+std::string
+serializeEntry(const SynthesisCache::Key &key, const SynthesisResult &result)
+{
+    std::ostringstream out;
+    out << "entry " << key.first << " " << key.second << " "
+        << (result.ok ? 1 : 0) << " " << result.cost << " "
+        << result.scale << "\n";
+    if (!result.ok)
+        return out.str();
+    const AutoModule &module = result.module;
+    out << "inputs";
+    for (int w : module.input_widths)
+        out << " " << w;
+    out << "\nconsts " << module.constants.size() << "\n";
+    for (const auto &constant : module.constants)
+        out << constant.width() << " " << constant.toHex() << "\n";
+    out << "insts " << module.insts.size() << "\n";
+    for (const auto &inst : module.insts) {
+        out << inst.op.class_id << " " << inst.op.member_index << " "
+            << inst.args.size();
+        for (const auto &ref : inst.args)
+            out << " " << static_cast<int>(ref.kind) << " " << ref.index;
+        out << " " << inst.int_args.size();
+        for (int64_t imm : inst.int_args)
+            out << " " << imm;
+        out << "\n";
+    }
+    out << "result " << module.result << "\n";
+    return out.str();
+}
+
+/** Parse one serialized entry block; false on any malformation. */
+bool
+parseEntry(const std::string &block, const AutoLLVMDict &dict,
+           SynthesisCache::Key &key, SynthesisResult &result)
+{
+    std::istringstream in(block);
+    std::string tag;
+    if (!(in >> tag) || tag != "entry")
+        return false;
+    int ok = 0;
+    if (!(in >> key.first >> key.second >> ok >> result.cost >>
+          result.scale))
+        return false;
+    result.ok = ok != 0;
+    if (!result.ok)
+        return true;
+    AutoModule &module = result.module;
+    if (!(in >> tag) || tag != "inputs")
+        return false;
+    // Input widths run to end of line.
+    std::string line;
+    std::getline(in, line);
+    for (const auto &field : split(trim(line), ' '))
+        if (!field.empty())
+            module.input_widths.push_back(std::stoi(field));
+    size_t n_consts = 0;
+    if (!(in >> tag >> n_consts) || tag != "consts")
+        return false;
+    for (size_t c = 0; c < n_consts; ++c) {
+        int width = 0;
+        std::string hex;
+        if (!(in >> width >> hex) || width <= 0)
+            return false;
+        BitVector value(width);
+        for (size_t digit = 0; digit < hex.size(); ++digit) {
+            const char ch = hex[hex.size() - 1 - digit];
+            const int nibble = ch <= '9' ? ch - '0' : ch - 'a' + 10;
+            for (int bit = 0; bit < 4; ++bit) {
+                const int pos = static_cast<int>(digit) * 4 + bit;
+                if (pos < width && ((nibble >> bit) & 1))
+                    value.setBit(pos, true);
+            }
+        }
+        module.constants.push_back(std::move(value));
+    }
+    size_t n_insts = 0;
+    if (!(in >> tag >> n_insts) || tag != "insts")
+        return false;
+    for (size_t i = 0; i < n_insts; ++i) {
+        AutoInst inst;
+        size_t n_args = 0;
+        if (!(in >> inst.op.class_id >> inst.op.member_index >> n_args))
+            return false;
+        if (inst.op.class_id < 0 || inst.op.class_id >= dict.classCount())
+            return false;
+        for (size_t a = 0; a < n_args; ++a) {
+            int kind = 0;
+            int index = 0;
+            if (!(in >> kind >> index))
+                return false;
+            inst.args.push_back({static_cast<ValueRef::Kind>(kind), index});
+        }
+        size_t n_imms = 0;
+        if (!(in >> n_imms))
+            return false;
+        for (size_t m = 0; m < n_imms; ++m) {
+            int64_t imm = 0;
+            if (!(in >> imm))
+                return false;
+            inst.int_args.push_back(imm);
+        }
+        module.insts.push_back(std::move(inst));
+    }
+    if (!(in >> tag >> result.module.result) || tag != "result")
+        return false;
+    return true;
+}
+
 } // namespace
 
 bool
 SynthesisCache::save(const std::string &path, const AutoLLVMDict &dict) const
 {
-    std::ofstream out(path);
-    if (!out)
+    // Chaos seam: a failed save is an ordinary outcome callers must
+    // tolerate (the previous cache on disk stays intact either way).
+    if (faults::shouldFail("cache.save"))
         return false;
-    out << "hydride-synth-cache v1 " << dictFingerprint(dict) << "\n";
-    for (const auto &[key, entry] : entries_) {
-        const SynthesisResult &result = entry.result;
-        out << "entry " << key.first << " " << key.second << " "
-            << (result.ok ? 1 : 0) << " " << result.cost << " "
-            << result.scale << "\n";
-        if (!result.ok)
-            continue;
-        const AutoModule &module = result.module;
-        out << "inputs";
-        for (int w : module.input_widths)
-            out << " " << w;
-        out << "\nconsts " << module.constants.size() << "\n";
-        for (const auto &constant : module.constants)
-            out << constant.width() << " " << constant.toHex() << "\n";
-        out << "insts " << module.insts.size() << "\n";
-        for (const auto &inst : module.insts) {
-            out << inst.op.class_id << " " << inst.op.member_index << " "
-                << inst.args.size();
-            for (const auto &ref : inst.args)
-                out << " " << static_cast<int>(ref.kind) << " "
-                    << ref.index;
-            out << " " << inst.int_args.size();
-            for (int64_t imm : inst.int_args)
-                out << " " << imm;
-            out << "\n";
+
+    // Atomic persistence: write a temp file in the same directory,
+    // then rename over the target. A crash mid-save leaves the old
+    // cache untouched; rename within one filesystem is atomic. The
+    // pid suffix keeps concurrent savers from clobbering each other's
+    // temp file (last rename wins, both files stay well-formed).
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return false;
+        out << "hydride-synth-cache v2 " << dictFingerprint(dict) << "\n";
+        for (const auto &[key, entry] : entries_) {
+            const std::string block = serializeEntry(key, entry.result);
+            out << block << "check " << entryChecksum(block) << "\n";
         }
-        out << "result " << module.result << "\n";
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
     }
-    return static_cast<bool>(out);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool
@@ -109,82 +234,75 @@ SynthesisCache::load(const std::string &path, const AutoLLVMDict &dict)
     std::ifstream in(path);
     if (!in)
         return false;
+    std::string header;
+    if (!std::getline(in, header))
+        return false;
+    std::istringstream hdr(header);
     std::string magic;
     std::string version;
     uint64_t fingerprint = 0;
-    in >> magic >> version >> fingerprint;
-    if (magic != "hydride-synth-cache" || version != "v1" ||
+    hdr >> magic >> version >> fingerprint;
+    if (magic != "hydride-synth-cache" || version != "v2" ||
         fingerprint != dictFingerprint(dict)) {
         return false;
     }
-    std::string tag;
-    while (in >> tag) {
-        if (tag != "entry")
-            return false;
-        Key key;
-        int ok = 0;
-        SynthesisResult result;
-        in >> key.first >> key.second >> ok >> result.cost >> result.scale;
-        result.ok = ok != 0;
-        if (result.ok) {
-            AutoModule &module = result.module;
-            in >> tag; // "inputs"
-            // Input widths run to end of line.
-            std::string line;
-            std::getline(in, line);
-            for (const auto &field : split(trim(line), ' '))
-                if (!field.empty())
-                    module.input_widths.push_back(std::stoi(field));
-            size_t n_consts = 0;
-            in >> tag >> n_consts; // "consts"
-            for (size_t c = 0; c < n_consts; ++c) {
-                int width = 0;
-                std::string hex;
-                in >> width >> hex;
-                BitVector value(width);
-                for (size_t digit = 0; digit < hex.size(); ++digit) {
-                    const char ch = hex[hex.size() - 1 - digit];
-                    const int nibble =
-                        ch <= '9' ? ch - '0' : ch - 'a' + 10;
-                    for (int bit = 0; bit < 4; ++bit) {
-                        const int pos = static_cast<int>(digit) * 4 + bit;
-                        if (pos < width && ((nibble >> bit) & 1))
-                            value.setBit(pos, true);
-                    }
-                }
-                module.constants.push_back(std::move(value));
-            }
-            size_t n_insts = 0;
-            in >> tag >> n_insts; // "insts"
-            for (size_t i = 0; i < n_insts; ++i) {
-                AutoInst inst;
-                size_t n_args = 0;
-                in >> inst.op.class_id >> inst.op.member_index >> n_args;
-                if (inst.op.class_id < 0 ||
-                    inst.op.class_id >= dict.classCount()) {
-                    return false;
-                }
-                for (size_t a = 0; a < n_args; ++a) {
-                    int kind = 0;
-                    int index = 0;
-                    in >> kind >> index;
-                    inst.args.push_back(
-                        {static_cast<ValueRef::Kind>(kind), index});
-                }
-                size_t n_imms = 0;
-                in >> n_imms;
-                for (size_t m = 0; m < n_imms; ++m) {
-                    int64_t imm = 0;
-                    in >> imm;
-                    inst.int_args.push_back(imm);
-                }
-                module.insts.push_back(std::move(inst));
-            }
-            in >> tag >> result.module.result; // "result"
+
+    // Salvage loader: entries are independent checksummed blocks, so
+    // a damaged file (bit flip, truncation, crash mid-write of an
+    // ancestor tool) costs only the entries at and after the damage —
+    // the valid prefix is kept instead of discarding the whole cache.
+    last_load_ = LoadStats{};
+    std::string line;
+    std::string block;
+    bool in_block = false;
+    while (std::getline(in, line)) {
+        if (line.rfind("entry ", 0) == 0) {
+            if (in_block)
+                break; // Previous block never saw its checksum line.
+            in_block = true;
+            block = line + "\n";
+            continue;
         }
-        if (in)
+        if (line.rfind("check ", 0) == 0) {
+            if (!in_block)
+                break;
+            in_block = false;
+            uint64_t recorded = 0;
+            std::istringstream chk(line.substr(6));
+            if (!(chk >> recorded) ||
+                recorded != entryChecksum(block) ||
+                faults::shouldFail("cache.corrupt")) {
+                last_load_.salvaged = true;
+                break;
+            }
+            Key key;
+            SynthesisResult result;
+            if (!parseEntry(block, dict, key, result)) {
+                last_load_.salvaged = true;
+                break;
+            }
             entries_[key].result = std::move(result);
+            ++last_load_.entries_loaded;
+            continue;
+        }
+        if (!in_block)
+            break; // Garbage between blocks.
+        block += line + "\n";
     }
+    if (in_block)
+        last_load_.salvaged = true; // Truncated final block.
+    if (last_load_.salvaged) {
+        static metrics::Counter &salvages =
+            metrics::counter("synthesis.cache.load_salvaged");
+        salvages.add();
+        HYD_LOG(Warn,
+                format("synthesis cache `%s` is damaged; salvaged the "
+                       "valid prefix (%zu entries)",
+                       path.c_str(), last_load_.entries_loaded));
+    }
+    static metrics::Counter &loaded =
+        metrics::counter("synthesis.cache.entries_loaded");
+    loaded.add(last_load_.entries_loaded);
     return true;
 }
 

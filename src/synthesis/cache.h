@@ -85,15 +85,33 @@ class SynthesisCache
      * the Racket lookup overhead its Table 4 laments). The file
      * records a dictionary fingerprint; load() refuses caches built
      * against a different dictionary.
+     *
+     * The write is atomic (temp file in the same directory, then
+     * rename), so a crash mid-save never destroys the previous good
+     * cache, and every entry carries a checksum the loader verifies.
      */
     bool save(const std::string &path,
               const class AutoLLVMDict &dict) const;
 
-    /** Load a previously saved cache; false on mismatch/IO error. */
+    /**
+     * Load a previously saved cache; false on mismatch/IO error.
+     * A damaged file (bit flip, truncation) is *salvaged*: the valid
+     * prefix of entries is kept, the load still succeeds, and
+     * loadStats() reports what happened.
+     */
     bool load(const std::string &path, const class AutoLLVMDict &dict);
+
+    /** What the most recent load() did. */
+    struct LoadStats
+    {
+        bool salvaged = false;        ///< Damage was detected.
+        size_t entries_loaded = 0;    ///< Entries kept.
+    };
+    const LoadStats &loadStats() const { return last_load_; }
 
   private:
     std::map<Key, CachedEntry> entries_;
+    LoadStats last_load_;
     int hits_ = 0;
     int misses_ = 0;
     long lifetime_hits_ = 0;

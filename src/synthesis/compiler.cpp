@@ -92,8 +92,13 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
     fallbacks.add();
     ExpandResult expanded = fallback_.expand(window);
     if (!expanded.ok) {
-        fatal("window failed both synthesis and macro expansion on " +
-              isa_ + ": " + expanded.error);
+        // Library code must not exit the process: throw a structured
+        // error the resilient driver (or any caller) can catch and
+        // degrade from (driver/resilience.h walks on to
+        // scalarization).
+        throw CompileError(
+            "window failed both synthesis and macro expansion on " +
+            isa_ + ": " + expanded.error);
     }
     out.program = std::move(expanded.program);
     out.synth_seconds = watch.seconds();

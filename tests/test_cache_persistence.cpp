@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "codegen/lowering.h"
 #include "specs/spec_db.h"
+#include "support/faults.h"
 #include "support/rng.h"
 #include "synthesis/compiler.h"
 
@@ -132,6 +135,119 @@ TEST_F(CachePersistence, ClearPreservesLifetimeStatistics)
     EXPECT_EQ(cache.misses(), 1);
     EXPECT_EQ(cache.lifetimeMisses(), 2);
     EXPECT_EQ(cache.lifetimeHits(), 1);
+}
+
+namespace {
+
+/** Build a cache file with several distinct entries for damage tests. */
+SynthesisCache
+multiEntryCache()
+{
+    SynthesisCache cache;
+    Schedule schedule;
+    schedule.vector_bits = 512;
+    Kernel kernel = buildKernel("matmul_b1", schedule);
+    SynthesisResult result =
+        synthesizeWindow(dict(), "x86", kernel.windows[0]);
+    cache.insert(kernel.windows[0], "x86", result);
+    // Negative entries for two more ISAs give three independent
+    // checksummed blocks without extra synthesis time.
+    cache.insert(kernel.windows[0], "arm", SynthesisResult{});
+    cache.insert(kernel.windows[0], "hvx", SynthesisResult{});
+    return cache;
+}
+
+std::string
+slurp(const char *path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+TEST_F(CachePersistence, TruncatedFileSalvagesTheValidPrefix)
+{
+    SynthesisCache cache = multiEntryCache();
+    ASSERT_EQ(cache.size(), 3u);
+    ASSERT_TRUE(cache.save(path_, dict()));
+
+    // Chop the file mid-way through the final entry's block — the
+    // crash-mid-write / torn-download shape of damage.
+    std::string text = slurp(path_);
+    const size_t last_check = text.rfind("check ");
+    ASSERT_NE(last_check, std::string::npos);
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << text.substr(0, last_check - 10);
+    }
+
+    SynthesisCache loaded;
+    EXPECT_TRUE(loaded.load(path_, dict())); // Salvage, not failure.
+    EXPECT_TRUE(loaded.loadStats().salvaged);
+    EXPECT_EQ(loaded.loadStats().entries_loaded, 2u);
+    EXPECT_EQ(loaded.size(), 2u);
+}
+
+TEST_F(CachePersistence, BitFlippedEntryIsDroppedWithThePrefixKept)
+{
+    SynthesisCache cache = multiEntryCache();
+    ASSERT_TRUE(cache.save(path_, dict()));
+
+    // Flip one byte inside the *second* entry's serialized block: its
+    // checksum no longer verifies, so the loader keeps entry 1 and
+    // drops the damage and everything after it — corrupt data must
+    // never be returned as a valid synthesis result.
+    std::string text = slurp(path_);
+    size_t second_entry = text.find("entry ");
+    ASSERT_NE(second_entry, std::string::npos);
+    second_entry = text.find("entry ", second_entry + 1);
+    ASSERT_NE(second_entry, std::string::npos);
+    text[second_entry + 7] ^= 0x20;
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << text;
+    }
+
+    SynthesisCache loaded;
+    EXPECT_TRUE(loaded.load(path_, dict()));
+    EXPECT_TRUE(loaded.loadStats().salvaged);
+    EXPECT_EQ(loaded.loadStats().entries_loaded, 1u);
+    EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST_F(CachePersistence, InjectedCorruptionSalvagesToo)
+{
+    // The cache.corrupt fault site models damage the checksum math
+    // itself would miss (e.g. a stale mmap); the loader must treat it
+    // exactly like a checksum mismatch.
+    SynthesisCache cache = multiEntryCache();
+    ASSERT_TRUE(cache.save(path_, dict()));
+    ASSERT_TRUE(faults::configure("cache.corrupt:2"));
+    SynthesisCache loaded;
+    EXPECT_TRUE(loaded.load(path_, dict()));
+    faults::reset();
+    EXPECT_TRUE(loaded.loadStats().salvaged);
+    EXPECT_EQ(loaded.loadStats().entries_loaded, 1u);
+}
+
+TEST_F(CachePersistence, InjectedSaveFailureLeavesTheOldFileIntact)
+{
+    SynthesisCache cache = multiEntryCache();
+    ASSERT_TRUE(cache.save(path_, dict()));
+    const std::string before = slurp(path_);
+
+    ASSERT_TRUE(faults::configure("cache.save"));
+    EXPECT_FALSE(cache.save(path_, dict()));
+    faults::reset();
+    EXPECT_EQ(slurp(path_), before);
+
+    SynthesisCache loaded;
+    EXPECT_TRUE(loaded.load(path_, dict()));
+    EXPECT_FALSE(loaded.loadStats().salvaged);
+    EXPECT_EQ(loaded.size(), cache.size());
 }
 
 TEST_F(CachePersistence, WarmCompilerFromDisk)

@@ -1,21 +1,38 @@
 /**
  * @file
  * Negative-path tests for the pseudocode parsers: malformed vendor
- * specs must die with a diagnostic naming the instruction and line
- * (spec bugs are user errors -> fatal, paper §5's fuzz-and-fix
- * workflow depends on actionable messages), and the bitwidth type
- * inference must reject ill-typed expressions.
+ * specs must raise a structured ParseError naming the instruction and
+ * line (spec bugs are recoverable library input — SpecDB skips the
+ * offender; the paper §5 fuzz-and-fix workflow depends on actionable
+ * messages), and the bitwidth type inference must reject ill-typed
+ * expressions.
  */
 #include <gtest/gtest.h>
 
+#include "observability/metrics.h"
 #include "specs/x86_parser.h"
 #include "specs/hvx_parser.h"
 #include "specs/arm_parser.h"
+#include "support/error.h"
 
 namespace hydride {
 namespace {
 
-TEST(ParserDiagnostics, X86WidthMismatchDies)
+/** Run a parse expected to fail; returns the ParseError message. */
+template <typename Fn>
+std::string
+parseErrorOf(Fn fn)
+{
+    try {
+        fn();
+    } catch (const ParseError &error) {
+        return error.what();
+    }
+    ADD_FAILURE() << "expected a ParseError";
+    return "";
+}
+
+TEST(ParserDiagnostics, X86WidthMismatchThrows)
 {
     InstDef bad;
     bad.name = "bad_widths";
@@ -25,11 +42,11 @@ TEST(ParserDiagnostics, X86WidthMismatchDies)
         "i := j*16\n"
         "dst[i+15:i] := a[i+15:i] + b[i+7:i]\n" // 16 vs 8 bits
         "ENDFOR\nENDDEF\n";
-    EXPECT_EXIT(parseX86Inst(bad), ::testing::ExitedWithCode(1),
-                "width mismatch");
+    const std::string what = parseErrorOf([&] { parseX86Inst(bad); });
+    EXPECT_NE(what.find("width mismatch"), std::string::npos) << what;
 }
 
-TEST(ParserDiagnostics, X86UnknownFunctionDies)
+TEST(ParserDiagnostics, X86UnknownFunctionThrows)
 {
     InstDef bad;
     bad.name = "bad_fn";
@@ -37,8 +54,8 @@ TEST(ParserDiagnostics, X86UnknownFunctionDies)
         "DEFINE bad_fn(a: bit[32]) -> bit[32] LAT 1\n"
         "dst[31:0] := Frobnicate(a[31:0], 16)\n"
         "ENDDEF\n";
-    EXPECT_EXIT(parseX86Inst(bad), ::testing::ExitedWithCode(1),
-                "unknown function");
+    const std::string what = parseErrorOf([&] { parseX86Inst(bad); });
+    EXPECT_NE(what.find("unknown function"), std::string::npos) << what;
 }
 
 TEST(ParserDiagnostics, X86UnknownIdentifierNamesTheLine)
@@ -49,11 +66,22 @@ TEST(ParserDiagnostics, X86UnknownIdentifierNamesTheLine)
         "DEFINE bad_ident(a: bit[32]) -> bit[32] LAT 1\n"
         "dst[31:0] := q[31:0]\n"
         "ENDDEF\n";
-    EXPECT_EXIT(parseX86Inst(bad), ::testing::ExitedWithCode(1),
-                "bad_ident:2.*unknown identifier");
+    try {
+        parseX86Inst(bad);
+        FAIL() << "expected a ParseError";
+    } catch (const ParseError &error) {
+        // The structured fields carry the SourceLoc downstream
+        // consumers (SpecDB warnings, verifier diagnostics) cite.
+        EXPECT_NE(error.source().find("bad_ident"), std::string::npos);
+        EXPECT_EQ(error.line(), 2);
+        EXPECT_NE(error.message().find("unknown identifier"),
+                  std::string::npos);
+        EXPECT_NE(std::string(error.what()).find("bad_ident:2"),
+                  std::string::npos);
+    }
 }
 
-TEST(ParserDiagnostics, X86SymbolicSliceWidthDies)
+TEST(ParserDiagnostics, X86SymbolicSliceWidthThrows)
 {
     InstDef bad;
     bad.name = "bad_slice";
@@ -61,11 +89,11 @@ TEST(ParserDiagnostics, X86SymbolicSliceWidthDies)
         "DEFINE bad_slice(a: bit[64], n: imm) -> bit[64] LAT 1\n"
         "dst[n:0] := a[n:0]\n" // width depends on an immediate
         "ENDDEF\n";
-    EXPECT_EXIT(parseX86Inst(bad), ::testing::ExitedWithCode(1),
-                "fold to a constant");
+    const std::string what = parseErrorOf([&] { parseX86Inst(bad); });
+    EXPECT_NE(what.find("fold to a constant"), std::string::npos) << what;
 }
 
-TEST(ParserDiagnostics, HvxBadAccessorDies)
+TEST(ParserDiagnostics, HvxBadAccessorThrows)
 {
     InstDef bad;
     bad.name = "bad_lane";
@@ -74,11 +102,11 @@ TEST(ParserDiagnostics, HvxBadAccessorDies)
         "for (i = 0; i < 64; i++) {\n"
         "dst.q[i] = Vu.q[i];\n" // no such lane type
         "}\n}\n";
-    EXPECT_EXIT(parseHvxInst(bad), ::testing::ExitedWithCode(1),
-                "lane accessor");
+    const std::string what = parseErrorOf([&] { parseHvxInst(bad); });
+    EXPECT_NE(what.find("lane accessor"), std::string::npos) << what;
 }
 
-TEST(ParserDiagnostics, HvxLoopVariableMismatchDies)
+TEST(ParserDiagnostics, HvxLoopVariableMismatchThrows)
 {
     InstDef bad;
     bad.name = "bad_loop";
@@ -87,8 +115,8 @@ TEST(ParserDiagnostics, HvxLoopVariableMismatchDies)
         "for (i = 0; j < 64; i++) {\n"
         "dst.b[i] = Vu.b[i];\n"
         "}\n}\n";
-    EXPECT_EXIT(parseHvxInst(bad), ::testing::ExitedWithCode(1),
-                "loop variable");
+    const std::string what = parseErrorOf([&] { parseHvxInst(bad); });
+    EXPECT_NE(what.find("loop variable"), std::string::npos) << what;
 }
 
 TEST(ParserDiagnostics, ArmTernaryConditionMustBeOneBit)
@@ -102,17 +130,29 @@ TEST(ParserDiagnostics, ArmTernaryConditionMustBeOneBit)
         "Elem[dst, e, 16] = Elem[a, e, 16] ? Elem[a, e, 16] : "
         "Elem[b, e, 16];\n"
         "endfor\nENDINSTRUCTION\n";
-    EXPECT_EXIT(parseArmInst(bad), ::testing::ExitedWithCode(1),
-                "1-bit");
+    const std::string what = parseErrorOf([&] { parseArmInst(bad); });
+    EXPECT_NE(what.find("1-bit"), std::string::npos) << what;
 }
 
-TEST(ParserDiagnostics, ArmMalformedHeaderDies)
+TEST(ParserDiagnostics, ArmMalformedHeaderThrows)
 {
     InstDef bad;
     bad.name = "bad_header";
     bad.pseudocode = "INSTRUCTION bad_header (a: bits(64) => bits(64)\n";
-    EXPECT_EXIT(parseArmInst(bad), ::testing::ExitedWithCode(1),
-                "parse error");
+    const std::string what = parseErrorOf([&] { parseArmInst(bad); });
+    EXPECT_NE(what.find("parse error"), std::string::npos) << what;
+}
+
+TEST(ParserDiagnostics, ParseFailuresBumpTheDiagnosticCounter)
+{
+    metrics::setEnabled(true);
+    metrics::Counter &diags = metrics::counter("specs.parser.diagnostics");
+    const uint64_t before = diags.value();
+    InstDef bad;
+    bad.name = "bad_header";
+    bad.pseudocode = "INSTRUCTION bad_header (a: bits(64) => bits(64)\n";
+    EXPECT_THROW(parseArmInst(bad), ParseError);
+    EXPECT_GT(diags.value(), before);
 }
 
 } // namespace

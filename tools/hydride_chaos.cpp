@@ -1,0 +1,360 @@
+/**
+ * @file
+ * hydride-chaos: the fault-injection sweep harness.
+ *
+ * The invariant under test (docs/robustness.md): for every registered
+ * fault site, compiling through the resilient driver yields, per
+ * window, either a verified-equivalent (possibly degraded) program or
+ * a structured diagnostic — never a process abort/exit, a crash, or
+ * silently wrong code.
+ *
+ * Modes:
+ *
+ *   hydride-chaos                 sweep: re-exec this binary once per
+ *                                 registered fault site (plus a
+ *                                 fault-free baseline) and summarize.
+ *                                 Fresh processes matter: SpecDB and
+ *                                 dictionary caches are process-
+ *                                 lifetime statics, so seams inside
+ *                                 them only trigger in a clean
+ *                                 process — and a child that dies on
+ *                                 a signal is *reported* as an
+ *                                 invariant violation instead of
+ *                                 killing the sweep.
+ *   hydride-chaos --site S        single-site mode: configure the
+ *                                 canonical clause for S, build the
+ *                                 dictionary, compile the probe
+ *                                 kernels resiliently, verify every
+ *                                 window (symbolic first, concrete
+ *                                 sampling on Unknown), exercise
+ *                                 cache save/load. Exit 0 iff the
+ *                                 invariant held.
+ *   hydride-chaos --clause C      like --site, but with a verbatim
+ *                                 HYDRIDE_FAULTS clause.
+ *   hydride-chaos --break-ladder  deliberately disable the macro and
+ *                                 scalarized rungs while injecting a
+ *                                 primary-path fault: the harness
+ *                                 must *fail* (the WILL_FAIL ctest
+ *                                 entry proves the harness can detect
+ *                                 a broken degradation path).
+ *   hydride-chaos --list          print the canonical sweep plan.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "analysis/symbolic/ir_equiv.h"
+#include "driver/resilience.h"
+#include "observability/metrics.h"
+#include "support/error.h"
+#include "support/faults.h"
+#include "support/rng.h"
+
+namespace hydride {
+namespace {
+
+/**
+ * Canonical clause per fault site: aggressive enough to actually
+ * exercise the seam, gentle enough that the pipeline survives to
+ * produce comparable output (e.g. parser faults hit a deterministic
+ * 2% of instructions rather than emptying the SpecDB).
+ */
+const std::vector<std::pair<std::string, std::string>> &
+sweepPlan()
+{
+    static const std::vector<std::pair<std::string, std::string>> plan = {
+        {"parser.malformed", "parser.malformed@0.02"},
+        {"specdb.corrupt", "specdb.corrupt@0.02"},
+        {"similarity.verify", "similarity.verify@0.05"},
+        {"cegis.timeout", "cegis.timeout"},
+        {"alloc.cap", "alloc.cap=64K"},
+        {"symbolic.budget", "symbolic.budget"},
+        {"cache.save", "cache.save"},
+        {"cache.corrupt", "cache.corrupt:1"},
+        {"lowering.fail", "lowering.fail"},
+        // Alone, macro.fail is unreachable (synthesis succeeds and
+        // the expander never runs); compose it with a primary-path
+        // fault so the sweep drives the ladder down to Scalarized.
+        {"macro.fail", "lowering.fail,macro.fail"},
+        {"compiler.window", "compiler.window"},
+    };
+    return plan;
+}
+
+/** Probe kernels: small enough to keep the sweep fast, diverse
+ *  enough to reach synthesis, lowering, and macro expansion. */
+const std::vector<std::string> kProbeKernels = {"add", "mul",
+                                                "average_pool"};
+
+/** Collect per-input total widths referenced by a window piece. */
+void
+collectInputWidths(const HExprPtr &expr, std::map<int, int> &widths)
+{
+    if (!expr)
+        return;
+    if (expr->op == HOp::Input)
+        widths[static_cast<int>(expr->imm)] = expr->totalWidth();
+    for (const auto &kid : expr->kids)
+        collectInputWidths(kid, widths);
+}
+
+/**
+ * Verify one compiled window against its specification. Symbolic
+ * proof first (checkProgramEquiv, hardware view — EQ03); Unknown is
+ * first-class and falls back to concrete sampling; Refuted is the
+ * one unforgivable outcome (silently wrong code).
+ */
+bool
+verifyWindow(const AutoLLVMDict &dict, const ResilientWindow &window,
+             std::string &why)
+{
+    if (window.rung == Rung::Scalarized)
+        return true; // The window is its own program; equal by construction.
+
+    std::map<int, int> widths;
+    collectInputWidths(window.window, widths);
+    int max_index = -1;
+    for (const auto &[index, width] : widths)
+        max_index = std::max(max_index, index);
+
+    if (window.rung != Rung::Cached) {
+        sym::EqBudget budget;
+        budget.max_nodes = size_t(1) << 16;
+        budget.max_conflicts = 2000;
+        const sym::EqResult eq = sym::checkProgramEquiv(
+            dict, window.program, window.window, budget);
+        if (eq.verdict == sym::Verdict::Refuted) {
+            why = "symbolically refuted (" + eq.method + ")";
+            return false;
+        }
+        if (eq.verdict == sym::Verdict::Proved)
+            return true;
+        // Unknown: never a pass — fall through to sampling.
+    }
+
+    Rng rng(0xC4A05 ^ static_cast<uint64_t>(max_index + 1));
+    for (int trial = 0; trial < 16; ++trial) {
+        std::vector<BitVector> inputs;
+        for (int i = 0; i <= max_index; ++i) {
+            auto it = widths.find(i);
+            inputs.push_back(
+                BitVector::random(it == widths.end() ? 8 : it->second, rng));
+        }
+        BitVector expected = evalHalide(window.window, inputs);
+        BitVector actual;
+        try {
+            actual = evalResilient(dict, window, inputs);
+        } catch (const std::exception &err) {
+            why = std::string("evaluation threw: ") + err.what();
+            return false;
+        }
+        if (!(expected == actual)) {
+            why = "concrete mismatch on trial " + std::to_string(trial);
+            return false;
+        }
+    }
+    return true;
+}
+
+/** One process-local chaos run; returns the number of violations. */
+int
+runSite(const std::string &site, const std::string &clause,
+        bool break_ladder)
+{
+    if (!clause.empty()) {
+        std::string error;
+        if (!faults::configure(clause, &error)) {
+            std::fprintf(stderr, "chaos: bad clause `%s`: %s\n",
+                         clause.c_str(), error.c_str());
+            return 1;
+        }
+    }
+
+    int violations = 0;
+    const AutoLLVMDict dict = AutoLLVMDict::build({"x86"});
+
+    ResilienceOptions options;
+    options.synthesis.timeout_seconds = 1.0;
+    options.synthesis.max_insts = 2;
+    if (break_ladder) {
+        options.allow_macro_fallback = false;
+        options.allow_scalarized = false;
+    }
+    SynthesisCache cache;
+    ResilientCompiler compiler(dict, "x86", 256, options, &cache);
+
+    std::map<std::string, int> rung_counts;
+    for (const auto &name : kProbeKernels) {
+        Schedule schedule;
+        Kernel kernel = buildKernel(name, schedule);
+        ResilientCompilation compiled = compiler.compile(kernel);
+        for (const auto &window : compiled.windows) {
+            ++rung_counts[rungName(window.rung)];
+            if (!window.ok) {
+                // A Failed rung always carries diagnostics (that is
+                // the structured half of the invariant), but with the
+                // full ladder enabled it must never be reached at
+                // all — scalarization cannot fail.
+                std::fprintf(stderr,
+                             "chaos: VIOLATION kernel=%s window failed "
+                             "every rung (%s)\n",
+                             name.c_str(),
+                             window.diagnostics.empty()
+                                 ? "no diagnostics!"
+                                 : window.diagnostics.back().detail.c_str());
+                ++violations;
+                continue;
+            }
+            std::string why;
+            if (!verifyWindow(dict, window, why)) {
+                std::fprintf(stderr,
+                             "chaos: VIOLATION kernel=%s rung=%s not "
+                             "equivalent: %s\n",
+                             name.c_str(), rungName(window.rung),
+                             why.c_str());
+                ++violations;
+            }
+        }
+    }
+
+    // Exercise the persistence seams (cache.save / cache.corrupt):
+    // a failed save and a salvaged load are ordinary outcomes; a
+    // crash in either is what the sweep exists to catch.
+    const std::string cache_path =
+        "/tmp/hydride_chaos_cache." + std::to_string(::getpid());
+    const bool saved = cache.save(cache_path, dict);
+    if (saved) {
+        SynthesisCache reloaded;
+        reloaded.load(cache_path, dict);
+        std::remove(cache_path.c_str());
+    }
+
+    if (!site.empty() && site != "none") {
+        if (faults::hitCount(site) == 0) {
+            std::fprintf(stderr,
+                         "chaos: VIOLATION site `%s` was never evaluated "
+                         "— the sweep tested nothing\n",
+                         site.c_str());
+            ++violations;
+        } else if (faults::fireCount(site) == 0) {
+            std::fprintf(stderr,
+                         "chaos: warning: site `%s` was evaluated %ld "
+                         "times but never fired\n",
+                         site.c_str(), faults::hitCount(site));
+        }
+    }
+
+    std::printf("chaos: site=%-18s hits=%-5ld fires=%-4ld rungs:",
+                site.empty() ? "none" : site.c_str(),
+                site.empty() ? 0 : faults::hitCount(site),
+                site.empty() ? 0 : faults::fireCount(site));
+    for (const auto &[rung, count] : rung_counts)
+        std::printf(" %s=%d", rung.c_str(), count);
+    std::printf(" violations=%d\n", violations);
+    return violations;
+}
+
+/** Sweep mode: one fresh child process per site. */
+int
+runSweep(const char *self)
+{
+    int failures = 0;
+    std::vector<std::pair<std::string, std::string>> plan = {
+        {"none", ""}};
+    plan.insert(plan.end(), sweepPlan().begin(), sweepPlan().end());
+
+    // Fail closed: the sweep plan must cover every registered site,
+    // so adding a fault site without adding sweep coverage is itself
+    // an error.
+    for (const auto &site : faults::knownSites()) {
+        bool covered = false;
+        for (const auto &[name, clause] : plan)
+            covered = covered || name == site;
+        if (!covered) {
+            std::fprintf(stderr,
+                         "chaos: registered site `%s` has no sweep "
+                         "clause\n",
+                         site.c_str());
+            ++failures;
+        }
+    }
+
+    for (const auto &[site, clause] : plan) {
+        std::string cmd = std::string(self) + " --site " + site;
+        if (!clause.empty())
+            cmd += " --clause '" + clause + "'";
+        const int status = std::system(cmd.c_str());
+        if (status == -1 || !WIFEXITED(status)) {
+            std::fprintf(stderr,
+                         "chaos: VIOLATION site `%s` child died on a "
+                         "signal (status %d)\n",
+                         site.c_str(), status);
+            ++failures;
+        } else if (WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "chaos: site `%s` reported violations\n",
+                         site.c_str());
+            ++failures;
+        }
+    }
+    std::printf("chaos sweep: %zu sites, %d failure%s\n", plan.size(),
+                failures, failures == 1 ? "" : "s");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace hydride
+
+int
+main(int argc, char **argv)
+{
+    using namespace hydride;
+    std::string site;
+    std::string clause;
+    bool break_ladder = false;
+    bool single = false;
+    bool list = false;
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--site" && a + 1 < argc) {
+            site = argv[++a];
+            single = true;
+        } else if (arg == "--clause" && a + 1 < argc) {
+            clause = argv[++a];
+            single = true;
+        } else if (arg == "--break-ladder") {
+            break_ladder = true;
+            single = true;
+            if (clause.empty())
+                clause = "compiler.window";
+        } else if (arg == "--list") {
+            list = true;
+        } else {
+            // A genuine CLI-level argument error: the one place
+            // `fatal` is still correct.
+            fatal("hydride-chaos: unknown argument `" + arg + "`");
+        }
+    }
+    if (list) {
+        for (const auto &[name, spec] : sweepPlan())
+            std::printf("%-18s %s\n", name.c_str(), spec.c_str());
+        return 0;
+    }
+    if (!site.empty() && site != "none" && !faults::isKnownSite(site)) {
+        fatal("hydride-chaos: unknown fault site `" + site + "`");
+    }
+    if (single) {
+        if (clause.empty() && !site.empty() && site != "none") {
+            for (const auto &[name, spec] : sweepPlan())
+                if (name == site)
+                    clause = spec;
+        }
+        return runSite(site, clause, break_ladder) == 0 ? 0 : 1;
+    }
+    return runSweep(argv[0]);
+}

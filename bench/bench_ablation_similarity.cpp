@@ -18,20 +18,27 @@
 #include "specs/spec_db.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/timing.h"
+#include "trace_cli.h"
 
 using namespace hydride;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchCli cli;
+    cli.parse(argc, argv);
     std::cout << "=== Ablation: similarity-engine passes ===\n\n";
     auto insts = combinedSemantics({"x86", "hvx", "arm"});
 
     Table table({"Configuration", "Classes", "Perm merges",
                  "Params eliminated", "Avg params/class"});
-    auto run = [&](const char *label, SimilarityOptions options) {
+    auto run = [&](const char *label, const char *slug,
+                   SimilarityOptions options) {
         SimilarityStats stats;
+        Stopwatch watch;
         auto classes = runSimilarityEngine(insts, options, &stats);
+        cli.record(std::string("engine.") + slug + "_ms", watch.millis());
         size_t params = 0;
         for (const auto &cls : classes)
             params += cls.rep.params.size();
@@ -44,15 +51,15 @@ main()
     };
 
     SimilarityOptions full;
-    auto classes = run("full (paper configuration)", full);
+    auto classes = run("full (paper configuration)", "full", full);
 
     SimilarityOptions no_perm = full;
     no_perm.permute_args = false;
-    run("without argument permutation", no_perm);
+    run("without argument permutation", "no_perm", no_perm);
 
     SimilarityOptions no_elim = full;
     no_elim.eliminate_dead_params = false;
-    run("without dead-parameter elimination", no_elim);
+    run("without dead-parameter elimination", "no_elim", no_elim);
 
     table.print(std::cout);
 
@@ -79,5 +86,6 @@ main()
                  "elimination shrinks signatures (the paper's "
                  "'eliminating unnecessary arguments'); hole insertion "
                  "is what lets offset variants share a class.\n";
+    cli.finish();
     return 0;
 }

@@ -23,18 +23,26 @@
 #include "specs/spec_db.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/timing.h"
+#include "trace_cli.h"
 
 using namespace hydride;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchCli cli;
+    cli.parse(argc, argv);
     std::cout << "=== Figure 6: runtime performance (simulated cycles) "
                  "===\n\n";
     AutoLLVMDict dict = AutoLLVMDict::build({"x86", "hvx", "arm"});
 
+    // --smoke: one target, four kernels.
+    const auto targets = cli.limited(evaluationTargets(), 1);
+    const auto kernels = cli.limited(kernelNames(), 4);
+
     int validation_failures = 0;
-    for (const auto &target : evaluationTargets()) {
+    for (const auto &target : targets) {
         std::cout << "--- " << target.name << " ---\n";
         SynthesisCache cache;
         SynthesisOptions options;
@@ -53,7 +61,8 @@ main()
         int n = 0;
         int n_rake = 0;
 
-        for (const auto &name : kernelNames()) {
+        Stopwatch compile_watch;
+        for (const auto &name : kernels) {
             Schedule schedule;
             schedule.vector_bits = target.vector_bits;
             Kernel kernel = buildKernel(name, schedule);
@@ -101,10 +110,20 @@ main()
                     : "-"});
         table.print(std::cout);
         std::cout << "\n";
+        cli.record(target.isa + ".compile_all_ms",
+                   compile_watch.millis(), n);
+        cli.recordRatio(target.isa + ".vs_prod_x",
+                        std::exp(geo_prod / n));
+        cli.recordRatio(target.isa + ".vs_llvm_x",
+                        std::exp(geo_llvm / n));
+        if (n_rake)
+            cli.recordRatio(target.isa + ".vs_rake_x",
+                            std::exp(geo_rake / n_rake));
     }
 
     std::cout << "Validation failures: " << validation_failures << "\n";
     std::cout << "Paper reference geomeans: x86 1.08x/1.12x; HVX "
                  "~1.0x/~2x/1.25x (Rake); ARM 1.03x/1.26x.\n";
+    cli.finish();
     return validation_failures == 0 ? 0 : 1;
 }

@@ -43,8 +43,8 @@ dotWindow(const TargetDesc &target)
 int
 main(int argc, char **argv)
 {
-    bench::TraceCli trace_cli;
-    trace_cli.parse(argc, argv);
+    bench::BenchCli cli;
+    cli.parse(argc, argv);
     std::cout << "=== Figure 7: synthesis heuristic speedups over BVS "
                  "===\n\n";
     AutoLLVMDict dict = AutoLLVMDict::build({"x86", "hvx", "arm"});
@@ -70,6 +70,8 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> times(
         std::size(settings), std::vector<double>(3, 0.0));
 
+    // --smoke: median-of-one instead of median-of-three.
+    const int reps = cli.smoke() ? 1 : 3;
     int target_idx = 0;
     for (const auto &target : evaluationTargets()) {
         HExprPtr window = dotWindow(target);
@@ -80,19 +82,29 @@ main(int argc, char **argv)
             options.lanewise = settings[s].lanewise;
             options.scaling = settings[s].scaling;
             options.timeout_seconds = 30.0;
-            // Median of three runs for timing stability.
+            // Median of `reps` runs for timing stability.
             std::vector<double> runs;
-            for (int r = 0; r < 3; ++r) {
+            for (int r = 0; r < reps; ++r) {
                 SynthesisResult result = synthesizeWindow(
                     dict, target.isa, window, options);
                 runs.push_back(result.seconds);
             }
             std::sort(runs.begin(), runs.end());
-            times[s][target_idx] = runs[1];
+            times[s][target_idx] = runs[runs.size() / 2];
         }
         ++target_idx;
     }
 
+    const char *const slugs[] = {"bvs", "bvs_lane", "bvs_scale",
+                                 "bvs_scale_lane",
+                                 "bvs_scale_lane_sbos"};
+    const char *const isas[] = {"x86", "hvx", "arm"};
+    for (int t = 0; t < 3; ++t)
+        cli.record(std::string(isas[t]) + ".bvs_ms", times[0][t] * 1e3);
+    for (size_t s = 1; s < std::size(settings); ++s)
+        for (int t = 0; t < 3; ++t)
+            cli.recordRatio(std::string(isas[t]) + "." + slugs[s] + "_x",
+                            times[0][t] / std::max(times[s][t], 1e-9));
     for (size_t s = 0; s < std::size(settings); ++s) {
         table.addRow({settings[s].label,
                       format("%.2fx", times[0][0] /
@@ -106,6 +118,6 @@ main(int argc, char **argv)
     std::cout << "\nPaper reference speedups over BVS (x86/HVX/ARM): "
                  "lane-wise 2/2.8/1.4; scaling+lane-wise 2/12.8/3.6; "
                  "+SBOS 2.7/20.8/6.\n";
-    trace_cli.finish();
+    cli.finish();
     return 0;
 }

@@ -8,6 +8,10 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "hir/canonicalize.h"
 #include "similarity/extraction.h"
 #include "specs/spec_db.h"
@@ -15,6 +19,7 @@
 #include "specs/x86_parser.h"
 #include "support/rng.h"
 #include "synthesis/compiler.h"
+#include "trace_cli.h"
 
 using namespace hydride;
 
@@ -130,6 +135,65 @@ BM_CacheLookup(benchmark::State &state)
 }
 BENCHMARK(BM_CacheLookup);
 
+/** ConsoleReporter that also record()s every run into the BenchCli,
+ *  so `--json-out` captures per-benchmark times alongside the normal
+ *  console table. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CaptureReporter(bench::BenchCli &cli) : cli_(cli) {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred ||
+                run.run_type != Run::RT_Iteration || run.iterations == 0)
+                continue;
+            const double denom = static_cast<double>(run.iterations);
+            cli_.record(run.benchmark_name(),
+                        1e3 * run.real_accumulated_time / denom,
+                        static_cast<long>(run.iterations),
+                        1e3 * run.cpu_accumulated_time / denom);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::BenchCli &cli_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::BenchCli cli;
+    cli.parse(argc, argv);
+
+    // Strip the BenchCli flags before handing argv to google-benchmark
+    // (it rejects flags it does not know).
+    std::vector<char *> gargv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json-out") == 0 ||
+            std::strcmp(argv[i], "--trace-out") == 0) {
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--smoke") == 0 ||
+            std::strcmp(argv[i], "--profile") == 0)
+            continue;
+        gargv.push_back(argv[i]);
+    }
+    std::string min_time = "--benchmark_min_time=0.02";
+    if (cli.smoke())
+        gargv.push_back(min_time.data());
+    int gargc = static_cast<int>(gargv.size());
+    benchmark::Initialize(&gargc, gargv.data());
+
+    CaptureReporter reporter(cli);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    cli.finish();
+    return 0;
+}

@@ -27,14 +27,14 @@ using namespace hydride;
 int
 main(int argc, char **argv)
 {
-    bench::TraceCli trace_cli;
-    trace_cli.parse(argc, argv);
+    bench::BenchCli cli;
+    cli.parse(argc, argv);
     std::cout << "=== Table 1: AutoLLVM IR results per architecture ===\n\n";
     Table table({"Architecture", "ISA Size", "AutoLLVM IR Size",
                  "% of ISA Size", "Offline Time (s)"});
 
     const std::vector<std::pair<std::string, std::vector<std::string>>>
-        rows = {
+        all_rows = {
             {"x86", {"x86"}},
             {"HVX", {"hvx"}},
             {"ARM", {"arm"}},
@@ -43,6 +43,7 @@ main(int argc, char **argv)
             {"HVX + ARM", {"hvx", "arm"}},
             {"x86 + HVX + ARM", {"x86", "hvx", "arm"}},
         };
+    const auto rows = cli.limited(all_rows, 3);
 
     for (const auto &[label, isas] : rows) {
         Stopwatch watch;
@@ -54,12 +55,17 @@ main(int argc, char **argv)
                       format("%.1f%%", 100.0 * classes.size() /
                                            insts.size()),
                       format("%.2f", watch.seconds())});
+        cli.record("offline." + join(isas, "_") + "_ms",
+                   watch.millis());
+        cli.recordRatio("compression." + join(isas, "_"),
+                        static_cast<double>(classes.size()) /
+                            insts.size());
     }
     table.print(std::cout);
 
     std::cout << "\nPaper reference: x86 2,029->136 (6.7%), "
                  "HVX 307->115 (37.5%), ARM 1,221->177 (14.5%), "
                  "combined 3,557->397 (11.2%).\n";
-    trace_cli.finish();
+    cli.finish();
     return 0;
 }

@@ -20,6 +20,8 @@
 #include "support/rng.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "support/timing.h"
+#include "trace_cli.h"
 
 using namespace hydride;
 
@@ -49,8 +51,11 @@ handShift(const BitVector &a, const BitVector &b, int ew, char kind,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchCli cli;
+    cli.parse(argc, argv);
+    Stopwatch fuzz_watch;
     std::cout << "=== Table 2: differential fuzzing of hand-written vs "
                  "auto-generated HVX semantics ===\n\n";
 
@@ -119,5 +124,7 @@ main()
     std::cout << "\n" << found
               << " of 5 hand-written-semantics bug classes detected "
                  "(paper Table 2 lists 5 such bugs in Rake).\n";
+    cli.record("fuzz_ms", fuzz_watch.millis());
+    cli.finish();
     return found == 5 ? 0 : 1;
 }

@@ -1,9 +1,9 @@
 /**
  * @file
- * Shared `--trace-out <file>` handling for the benchmark binaries.
+ * Shared CLI handling for the benchmark binaries.
  *
- * `--trace-out out.json` enables the observability layer for the run
- * and, on finish(), writes
+ * `--trace-out out.json` (TraceCli) enables the observability layer
+ * for the run and, on finish(), writes
  *
  *   out.json               Chrome trace_event JSON (chrome://tracing
  *                          or https://ui.perfetto.dev)
@@ -13,16 +13,36 @@
  * end-to-end totals. The HYDRIDE_TRACE / HYDRIDE_METRICS environment
  * variables (see docs/observability.md) work for any binary without
  * this flag; the flag is a convenience for explicit output paths.
+ *
+ * BenchCli adds the continuous-benchmarking flags every bench binary
+ * supports (see docs/benchmarking.md):
+ *
+ *   --json-out <file>  write a schema-versioned BenchReport: the
+ *                      entries record()ed by the harness, the phase
+ *                      profile of the run's trace, and the metrics
+ *                      snapshot (hydride-bench merges these into the
+ *                      committed BENCH_<n>.json trajectory)
+ *   --smoke            reduced workload (fewer kernels / one target);
+ *                      marked in the report — smoke numbers never
+ *                      compare against full-run baselines
+ *   --profile          print the per-phase synthesis time breakdown
+ *                      (enumeration / concrete eval / symbolic / SAT /
+ *                      cache lookup) on exit
  */
 #ifndef HYDRIDE_BENCH_TRACE_CLI_H
 #define HYDRIDE_BENCH_TRACE_CLI_H
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "observability/bench/bench_report.h"
+#include "observability/bench/phase_profiler.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
+#include "support/timing.h"
 
 namespace hydride {
 namespace bench {
@@ -63,6 +83,124 @@ class TraceCli
 
   private:
     std::string path_;
+};
+
+/** TraceCli plus the BenchReport flags (--json-out, --smoke,
+ *  --profile). One instance per bench main(); parse() first,
+ *  record() the measurements, finish() last. */
+class BenchCli
+{
+  public:
+    /** Scan argv; --json-out and --profile both enable tracing and
+     *  metrics so the phase profile and histogram summaries have
+     *  data to report. */
+    void
+    parse(int argc, char **argv)
+    {
+        trace_.parse(argc, argv);
+        suite_ = basename(argv[0]);
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+                json_path_ = argv[++i];
+            } else if (std::strcmp(argv[i], "--smoke") == 0) {
+                smoke_ = true;
+            } else if (std::strcmp(argv[i], "--profile") == 0) {
+                profile_ = true;
+            }
+        }
+        if (!json_path_.empty() || profile_) {
+            trace::setEnabled(true);
+            metrics::setEnabled(true);
+        }
+    }
+
+    bool smoke() const { return smoke_; }
+    const std::string &suite() const { return suite_; }
+
+    /** First `cap` elements under --smoke, all of them otherwise. */
+    template <class Vec>
+    Vec
+    limited(Vec v, size_t cap) const
+    {
+        if (smoke_ && v.size() > cap)
+            v.resize(cap);
+        return v;
+    }
+
+    /** Record a wall-time measurement (what the regression gate
+     *  compares). */
+    void
+    record(const std::string &name, double wall_ms, long iterations = 1,
+           double cpu_ms = -1.0)
+    {
+        BenchEntry entry;
+        entry.name = name;
+        entry.kind = "time";
+        entry.wall_ms = wall_ms;
+        entry.cpu_ms = cpu_ms;
+        entry.iterations = iterations;
+        entries_.push_back(std::move(entry));
+    }
+
+    /** Record a dimensionless result (speedup, compression factor);
+     *  informational, never gated. */
+    void
+    recordRatio(const std::string &name, double value)
+    {
+        BenchEntry entry;
+        entry.name = name;
+        entry.kind = "ratio";
+        entry.value = value;
+        entries_.push_back(std::move(entry));
+    }
+
+    /** Write every requested artifact. Records `total_ms` (whole-run
+     *  wall time since parse) automatically. */
+    void
+    finish()
+    {
+        trace_.finish();
+        if (json_path_.empty() && !profile_)
+            return;
+        record("total_ms", run_watch_.millis(), 1, cpuTimeMs());
+        const PhaseProfile profile = profileCurrentTrace();
+        if (profile_)
+            std::cout << "\n" << formatProfile(profile);
+        if (json_path_.empty())
+            return;
+        BenchReport report;
+        report.suite = suite_;
+        report.smoke = smoke_;
+        report.benchmarks = entries_;
+        report.has_phases = true;
+        report.phases = profile.aggregate;
+        report.metrics = MetricsSummary::fromSnapshot(metrics::snapshot());
+        std::ofstream out(json_path_);
+        if (out) {
+            out << report.toJson() << "\n";
+            std::cerr << "bench report: " << json_path_ << "\n";
+        } else {
+            std::cerr << "bench report: cannot write " << json_path_
+                      << "\n";
+        }
+    }
+
+  private:
+    static std::string
+    basename(const char *path)
+    {
+        const std::string s = path ? path : "bench";
+        const size_t slash = s.find_last_of('/');
+        return slash == std::string::npos ? s : s.substr(slash + 1);
+    }
+
+    TraceCli trace_;
+    std::string suite_;
+    std::string json_path_;
+    bool smoke_ = false;
+    bool profile_ = false;
+    std::vector<BenchEntry> entries_;
+    Stopwatch run_watch_;
 };
 
 } // namespace bench

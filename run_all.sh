@@ -19,6 +19,11 @@
 #                            broken-ladder detection check. Composes
 #                            with --sanitize: `--sanitize --chaos`
 #                            runs the sweep under the sanitizers.
+#   ./run_all.sh --bench     run the continuous-benchmarking smoke
+#                            suite (`hydride-bench --smoke`), validate
+#                            the merged artifact with
+#                            tools/check_bench.py, and gate it against
+#                            itself (docs/benchmarking.md).
 
 TRACE_MODE=0
 CHAOS_MODE=0
@@ -57,6 +62,16 @@ if [ "$1" = "--chaos" ]; then
     run_chaos
     exit 0
 fi
+if [ "$1" = "--bench" ]; then
+    echo "===== hydride-bench --smoke ====="
+    build/tools/hydride-bench --smoke --bench-dir build/bench \
+        --json-out build/bench_smoke.json || exit 1
+    python3 tools/check_bench.py build/bench_smoke.json || exit 1
+    build/tools/hydride-bench --input build/bench_smoke.json \
+        --compare build/bench_smoke.json || exit 1
+    echo "run_all: bench smoke suite passed"
+    exit 0
+fi
 if [ "$1" = "--trace" ]; then
     TRACE_MODE=1
     export HYDRIDE_TRACE=1 HYDRIDE_METRICS=1
@@ -75,11 +90,30 @@ echo "===== hydride-verify --passes equiv ====="
 build/tools/hydride-verify --passes equiv --max-print 50 || exit 1
 
 ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
+# POSIX sh has no `pipefail`, so query the pipeline's real status via
+# the ctest LastTestsFailed log rather than trusting `tee`'s exit code.
+if [ -s build/Testing/Temporary/LastTestsFailed.log ]; then
+    echo "run_all: ctest reported failures (see test_output.txt)" >&2
+    exit 1
+fi
+
+# Run each bench binary directly (no pipeline around the loop: a
+# pipeline reports only the *last* command's status, which used to
+# swallow bench crashes). Fail fast, naming the binary that broke.
+: > /root/repo/bench_output.txt
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo "===== $b ====="
-    "$b"
-done 2>&1 | tee /root/repo/bench_output.txt | grep -E '=====|GEOMEAN|Validation' | tail -40
+    echo "===== $b =====" >> /root/repo/bench_output.txt
+    if ! "$b" > /tmp/hydride_bench_one.txt 2>&1; then
+        cat /tmp/hydride_bench_one.txt >> /root/repo/bench_output.txt
+        echo "run_all: bench binary failed: $b (see bench_output.txt)" >&2
+        exit 1
+    fi
+    cat /tmp/hydride_bench_one.txt >> /root/repo/bench_output.txt
+    grep -E 'GEOMEAN|Validation' /tmp/hydride_bench_one.txt
+done
+rm -f /tmp/hydride_bench_one.txt
 
 if [ "$TRACE_MODE" = 1 ]; then
     echo "===== validating traces in $HYDRIDE_TRACE_DIR ====="

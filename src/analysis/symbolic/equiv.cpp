@@ -1,9 +1,13 @@
 #include "analysis/symbolic/equiv.h"
 
 #include "analysis/symbolic/sat.h"
+#include "observability/bench/phase_profiler.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "support/error.h"
 #include "support/faults.h"
 #include "support/rng.h"
+#include "support/timing.h"
 
 #include <algorithm>
 #include <chrono>
@@ -224,8 +228,17 @@ checkEquiv(const BVFun &a, const BVFun &b, const EqBudget &budget)
 
     // Tier 3: Tseitin + DPLL on the miter cone.
     SatSolver solver;
-    cnfFromAig(aig, miter, solver);
-    const SatResult sat = solver.solve(budget.max_conflicts);
+    SatResult sat;
+    {
+        trace::TraceSpan sat_span(bench::kSpanSat);
+        static metrics::Histogram &sat_ms = metrics::histogram(
+            "symbolic.sat.time_ms", metrics::logTimeMsBounds());
+        Stopwatch sat_watch;
+        cnfFromAig(aig, miter, solver);
+        sat = solver.solve(budget.max_conflicts);
+        sat_ms.observe(sat_watch.millis());
+        sat_span.setAttr("conflicts", sat.conflicts);
+    }
     result.conflicts = sat.conflicts;
     result.method = "sat";
 

@@ -1,0 +1,517 @@
+#include "observability/bench/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hydride {
+namespace bjson {
+
+// ---- Value accessors -------------------------------------------------------
+
+const Value *
+Value::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (size_t i = 0; i < keys.size(); ++i)
+        if (keys[i] == key)
+            return values[i].get();
+    return nullptr;
+}
+
+double
+Value::numberOr(double fallback) const
+{
+    return kind == Kind::Number ? number : fallback;
+}
+
+std::string
+Value::stringOr(const std::string &fallback) const
+{
+    return kind == Kind::String ? text : fallback;
+}
+
+bool
+Value::boolOr(bool fallback) const
+{
+    return kind == Kind::Bool ? boolean : fallback;
+}
+
+double
+Value::getNumber(const std::string &key, double fallback) const
+{
+    const Value *v = get(key);
+    return v ? v->numberOr(fallback) : fallback;
+}
+
+std::string
+Value::getString(const std::string &key, const std::string &fallback) const
+{
+    const Value *v = get(key);
+    return v ? v->stringOr(fallback) : fallback;
+}
+
+bool
+Value::getBool(const std::string &key, bool fallback) const
+{
+    const Value *v = get(key);
+    return v ? v->boolOr(fallback) : fallback;
+}
+
+// ---- Builders --------------------------------------------------------------
+
+ValuePtr
+Value::makeNull()
+{
+    return std::make_shared<Value>();
+}
+
+ValuePtr
+Value::makeBool(bool b)
+{
+    auto v = std::make_shared<Value>();
+    v->kind = Kind::Bool;
+    v->boolean = b;
+    return v;
+}
+
+ValuePtr
+Value::makeNumber(double n)
+{
+    auto v = std::make_shared<Value>();
+    v->kind = Kind::Number;
+    v->number = std::isfinite(n) ? n : 0.0;
+    return v;
+}
+
+ValuePtr
+Value::makeString(std::string s)
+{
+    auto v = std::make_shared<Value>();
+    v->kind = Kind::String;
+    v->text = std::move(s);
+    return v;
+}
+
+ValuePtr
+Value::makeArray()
+{
+    auto v = std::make_shared<Value>();
+    v->kind = Kind::Array;
+    return v;
+}
+
+ValuePtr
+Value::makeObject()
+{
+    auto v = std::make_shared<Value>();
+    v->kind = Kind::Object;
+    return v;
+}
+
+void
+Value::set(const std::string &key, ValuePtr value)
+{
+    for (size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i] == key) {
+            values[i] = std::move(value);
+            return;
+        }
+    }
+    keys.push_back(key);
+    values.push_back(std::move(value));
+}
+
+void
+Value::push(ValuePtr value)
+{
+    items.push_back(std::move(value));
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    ValuePtr
+    run()
+    {
+        ValuePtr value = parseValue();
+        if (!value)
+            return nullptr;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return value;
+    }
+
+  private:
+    ValuePtr
+    fail(const std::string &message)
+    {
+        if (error_.empty()) {
+            error_ = message + " at byte " + std::to_string(pos_);
+        }
+        return nullptr;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        if (++depth_ > 256) {
+            --depth_;
+            return fail("nesting too deep");
+        }
+        skipWs();
+        ValuePtr out;
+        if (pos_ >= text_.size()) {
+            out = fail("unexpected end of input");
+        } else {
+            const char c = text_[pos_];
+            if (c == '{')
+                out = parseObject();
+            else if (c == '[')
+                out = parseArray();
+            else if (c == '"')
+                out = parseString();
+            else if (c == 't' || c == 'f')
+                out = parseBool();
+            else if (c == 'n')
+                out = parseNull();
+            else
+                out = parseNumber();
+        }
+        --depth_;
+        return out;
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        consume('{');
+        ValuePtr obj = Value::makeObject();
+        skipWs();
+        if (consume('}'))
+            return obj;
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key string");
+            ValuePtr key = parseString();
+            if (!key)
+                return nullptr;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            ValuePtr value = parseValue();
+            if (!value)
+                return nullptr;
+            obj->set(key->text, std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return obj;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        consume('[');
+        ValuePtr arr = Value::makeArray();
+        skipWs();
+        if (consume(']'))
+            return arr;
+        for (;;) {
+            ValuePtr value = parseValue();
+            if (!value)
+                return nullptr;
+            arr->push(std::move(value));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return arr;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    ValuePtr
+    parseString()
+    {
+        consume('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return Value::makeString(std::move(out));
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape in string");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code |= h - 'A' + 10;
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // Encode as UTF-8 (surrogate pairs are passed through
+                // as two separate escapes; the bench schema never
+                // emits astral-plane text).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default: return fail("unknown escape in string");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    ValuePtr
+    parseBool()
+    {
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return Value::makeBool(true);
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return Value::makeBool(false);
+        }
+        return fail("expected 'true' or 'false'");
+    }
+
+    ValuePtr
+    parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return Value::makeNull();
+        }
+        return fail("expected 'null'");
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected a JSON value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0' || !std::isfinite(value)) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        return Value::makeNumber(value);
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+void
+writeValue(const Value &value, std::ostringstream &os, int indent,
+           int level)
+{
+    const bool pretty = indent > 0;
+    const std::string pad =
+        pretty ? std::string(static_cast<size_t>(indent) * (level + 1), ' ')
+               : std::string();
+    const std::string close_pad =
+        pretty ? std::string(static_cast<size_t>(indent) * level, ' ')
+               : std::string();
+    switch (value.kind) {
+    case Value::Kind::Null: os << "null"; break;
+    case Value::Kind::Bool: os << (value.boolean ? "true" : "false"); break;
+    case Value::Kind::Number: os << formatNumber(value.number); break;
+    case Value::Kind::String:
+        os << '"' << escape(value.text) << '"';
+        break;
+    case Value::Kind::Array:
+        if (value.items.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (size_t i = 0; i < value.items.size(); ++i) {
+            if (i)
+                os << ',';
+            if (pretty)
+                os << '\n' << pad;
+            writeValue(*value.items[i], os, indent, level + 1);
+        }
+        if (pretty)
+            os << '\n' << close_pad;
+        os << ']';
+        break;
+    case Value::Kind::Object:
+        if (value.keys.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (size_t i = 0; i < value.keys.size(); ++i) {
+            if (i)
+                os << ',';
+            if (pretty)
+                os << '\n' << pad;
+            os << '"' << escape(value.keys[i]) << "\":";
+            if (pretty)
+                os << ' ';
+            writeValue(*value.values[i], os, indent, level + 1);
+        }
+        if (pretty)
+            os << '\n' << close_pad;
+        os << '}';
+        break;
+    }
+}
+
+} // namespace
+
+ValuePtr
+parse(const std::string &text, std::string &error)
+{
+    error.clear();
+    Parser parser(text, error);
+    return parser.run();
+}
+
+std::string
+write(const Value &value)
+{
+    std::ostringstream os;
+    writeValue(value, os, 0, 0);
+    return os.str();
+}
+
+std::string
+writePretty(const Value &value)
+{
+    std::ostringstream os;
+    writeValue(value, os, 2, 0);
+    return os.str();
+}
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "0";
+    // Integers print without a fraction: counts and iteration totals
+    // stay integer-typed for consumers like check_bench.py.
+    if (value == std::floor(value) && std::fabs(value) < 9.007199e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+} // namespace bjson
+} // namespace hydride

@@ -1,6 +1,7 @@
 #include "observability/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -130,6 +131,66 @@ defaultTimeBounds()
         0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
         0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
     return bounds;
+}
+
+std::vector<double>
+logBounds(double lo, double hi, int per_decade)
+{
+    std::vector<double> bounds;
+    if (!(lo > 0.0) || !(hi > lo) || per_decade < 1)
+        return bounds;
+    const double step = std::pow(10.0, 1.0 / per_decade);
+    // Multiply up from lo; recompute from the exponent each time so
+    // rounding error cannot accumulate across decades.
+    for (int i = 0;; ++i) {
+        const double bound = lo * std::pow(step, i);
+        bounds.push_back(bound);
+        if (bound >= hi)
+            break;
+        if (bounds.size() > 4096)
+            break; // Defensive cap against degenerate arguments.
+    }
+    return bounds;
+}
+
+const std::vector<double> &
+logTimeMsBounds()
+{
+    static const std::vector<double> bounds = logBounds(0.001, 1e5, 3);
+    return bounds;
+}
+
+double
+Snapshot::Hist::quantile(double q) const
+{
+    if (count == 0 || buckets.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * static_cast<double>(count);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += buckets[b];
+        if (static_cast<double>(cumulative) < target)
+            continue;
+        // Bucket b holds the target rank. Edges: bucket 0 starts at
+        // the observed min, the overflow bucket ends at the observed
+        // max.
+        double lower = b == 0 ? min : bounds[b - 1];
+        double upper = b < bounds.size() ? bounds[b] : max;
+        lower = std::max(lower, min);
+        upper = std::min(upper, max);
+        if (upper < lower)
+            upper = lower;
+        const double fraction =
+            buckets[b] == 0
+                ? 0.0
+                : (target - before) / static_cast<double>(buckets[b]);
+        return lower + fraction * (upper - lower);
+    }
+    return max;
 }
 
 // ---- Registry --------------------------------------------------------------

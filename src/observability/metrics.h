@@ -125,6 +125,19 @@ class Histogram
  *  without explicit bounds — tuned for per-window synthesis times. */
 const std::vector<double> &defaultTimeBounds();
 
+/**
+ * Log-scale bucket bounds: geometrically spaced from `lo` to at
+ * least `hi` with `per_decade` bounds per factor of ten. Linear
+ * buckets collapse sub-millisecond CEGIS timings into one bin; a
+ * log scale keeps resolution constant across orders of magnitude.
+ * Requires lo > 0, hi > lo, per_decade >= 1.
+ */
+std::vector<double> logBounds(double lo, double hi, int per_decade);
+
+/** Shared log-scale bounds for `*.time_ms` histograms: 1µs .. 100s
+ *  (as milliseconds), three bounds per decade. */
+const std::vector<double> &logTimeMsBounds();
+
 // ---- Registry --------------------------------------------------------------
 
 /** Find-or-create by name. References stay valid for the process
@@ -146,6 +159,16 @@ struct Snapshot
         double sum = 0.0;
         double min = 0.0;
         double max = 0.0;
+
+        /**
+         * Estimated q-quantile (q in [0,1]) by linear interpolation
+         * within the bucket containing the target rank, clamped to
+         * the observed [min, max]. Exact at bucket edges; within a
+         * bucket the error is bounded by the bucket width (which the
+         * log-scale bounds keep proportional to the value). 0 when
+         * the histogram is empty.
+         */
+        double quantile(double q) const;
     };
     std::vector<std::pair<std::string, uint64_t>> counters;
     std::vector<std::pair<std::string, int64_t>> gauges;

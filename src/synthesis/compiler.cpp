@@ -1,6 +1,7 @@
 #include "synthesis/compiler.h"
 
 #include "codegen/lowering.h"
+#include "observability/bench/phase_profiler.h"
 #include "observability/log.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
@@ -42,7 +43,18 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
     span.setAttr("isa", isa_);
 
     // Memoization cache first (paper §4.1).
-    if (const SynthesisResult *cached = cache_->lookup(window, isa_)) {
+    const SynthesisResult *cached = nullptr;
+    {
+        trace::TraceSpan lookup_span(bench::kSpanCacheLookup);
+        static metrics::Histogram &lookup_ms = metrics::histogram(
+            "synthesis.cache.lookup.time_ms",
+            metrics::logTimeMsBounds());
+        Stopwatch lookup_watch;
+        cached = cache_->lookup(window, isa_);
+        lookup_ms.observe(lookup_watch.millis());
+        lookup_span.setAttr("hit", cached != nullptr);
+    }
+    if (cached) {
         out.from_cache = true;
         span.setAttr("from_cache", true);
         if (cached->ok) {

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate Hydride BENCH_*.json benchmark artifacts.
+
+Usage:
+    check_bench.py BENCH_0.json [BENCH_1.json ...]
+
+Checks the hydride-bench/v1 schema: the suite wrapper (schema id,
+kind, smoke flag, suites array), every per-binary report (suite name,
+benchmark entries with a valid kind and the fields that kind
+requires), the phase breakdown (non-negative buckets that sum to the
+window total within tolerance), and the metrics summaries (histogram
+percentiles ordered p50 <= p90 <= p99 within [min, max]). Exits
+non-zero, naming the file and the problem, on the first malformed
+artifact. Stdlib only.
+"""
+import json
+import sys
+
+SCHEMA = "hydride-bench/v1"
+PHASE_KEYS = ("enumeration_ms", "concrete_eval_ms", "symbolic_ms",
+              "sat_ms", "cache_lookup_ms", "other_ms")
+
+
+def fail(path, message):
+    print(f"check_bench: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_num(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_phases(path, where, phases):
+    if not isinstance(phases, dict):
+        fail(path, f"{where} is not an object")
+    for key in PHASE_KEYS + ("total_ms", "windows"):
+        if not is_num(phases.get(key)):
+            fail(path, f"{where} missing numeric '{key}'")
+        if phases[key] < 0:
+            fail(path, f"{where} has negative '{key}'")
+    total = phases["total_ms"]
+    attributed = sum(phases[key] for key in PHASE_KEYS)
+    # Exclusive attribution: the six buckets partition the window
+    # total (sub-ms slack for float rounding across windows).
+    if abs(attributed - total) > max(1.0, 0.001 * total):
+        fail(path, f"{where} phases sum to {attributed:.3f} ms but "
+                   f"total_ms is {total:.3f}")
+
+
+def check_entry(path, where, entry):
+    if not isinstance(entry, dict):
+        fail(path, f"{where} is not an object")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        fail(path, f"{where} has no name")
+    kind = entry.get("kind")
+    if kind not in ("time", "ratio"):
+        fail(path, f"{where} ('{name}') has bad kind {kind!r}")
+    if kind == "time":
+        if not is_num(entry.get("wall_ms")) or entry["wall_ms"] < 0:
+            fail(path, f"{where} ('{name}') lacks non-negative wall_ms")
+    else:
+        if not is_num(entry.get("value")):
+            fail(path, f"{where} ('{name}') lacks numeric value")
+    iterations = entry.get("iterations")
+    if not isinstance(iterations, int) or iterations < 1:
+        fail(path, f"{where} ('{name}') iterations must be a positive "
+                   f"integer")
+
+
+def check_hist(path, where, name, hist):
+    if not isinstance(hist, dict):
+        fail(path, f"{where} histogram '{name}' is not an object")
+    for key in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+        if not is_num(hist.get(key)):
+            fail(path, f"{where} histogram '{name}' missing '{key}'")
+    if hist["count"] == 0:
+        return
+    lo, hi = hist["min"], hist["max"]
+    quantiles = (hist["p50"], hist["p90"], hist["p99"])
+    if list(quantiles) != sorted(quantiles):
+        fail(path, f"{where} histogram '{name}' percentiles not "
+                   f"monotone: {quantiles}")
+    for q in quantiles:
+        if not (lo - 1e-9 <= q <= hi + 1e-9):
+            fail(path, f"{where} histogram '{name}' percentile {q} "
+                       f"outside [min, max] = [{lo}, {hi}]")
+
+
+def check_report(path, where, report, expect_smoke):
+    if not isinstance(report, dict):
+        fail(path, f"{where} is not an object")
+    if report.get("schema") != SCHEMA:
+        fail(path, f"{where} has schema {report.get('schema')!r} "
+                   f"(want {SCHEMA!r})")
+    if report.get("kind") != "report":
+        fail(path, f"{where} kind is {report.get('kind')!r}")
+    suite = report.get("suite")
+    if not isinstance(suite, str) or not suite:
+        fail(path, f"{where} has no suite name")
+    if report.get("smoke") != expect_smoke:
+        fail(path, f"{where} ('{suite}') smoke flag disagrees with the "
+                   f"suite wrapper")
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail(path, f"{where} ('{suite}') has no benchmarks")
+    names = set()
+    for i, entry in enumerate(benchmarks):
+        check_entry(path, f"{where}.benchmarks[{i}]", entry)
+        if entry["name"] in names:
+            fail(path, f"{where} ('{suite}') duplicate benchmark name "
+                       f"'{entry['name']}'")
+        names.add(entry["name"])
+    if "phases" in report:
+        check_phases(path, f"{where}.phases", report["phases"])
+    metrics = report.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            fail(path, f"{where} metrics is not an object")
+        for name, hist in metrics.get("histograms", {}).items():
+            check_hist(path, where, name, hist)
+    return suite
+
+
+def check_suite(path, doc):
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(path, f"schema is {doc.get('schema')!r} (want {SCHEMA!r})")
+    if doc.get("kind") != "suite":
+        fail(path, f"kind is {doc.get('kind')!r} (want 'suite')")
+    if not isinstance(doc.get("smoke"), bool):
+        fail(path, "missing boolean 'smoke'")
+    suites = doc.get("suites")
+    if not isinstance(suites, list) or not suites:
+        fail(path, "missing non-empty 'suites' array")
+    if "phases" in doc:
+        check_phases(path, "phases", doc["phases"])
+    seen = set()
+    entries = 0
+    for i, report in enumerate(suites):
+        suite = check_report(path, f"suites[{i}]", report, doc["smoke"])
+        if suite in seen:
+            fail(path, f"duplicate suite '{suite}'")
+        seen.add(suite)
+        entries += len(report["benchmarks"])
+    return len(suites), entries
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except OSError as err:
+            fail(path, f"cannot read: {err}")
+        except json.JSONDecodeError as err:
+            fail(path, f"malformed JSON: {err}")
+        suites, entries = check_suite(path, doc)
+        print(f"check_bench: {path}: OK ({suites} suites, "
+              f"{entries} benchmark entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -24,6 +24,15 @@
 #                            the merged artifact with
 #                            tools/check_bench.py, and gate it against
 #                            itself (docs/benchmarking.md).
+#   ./run_all.sh --journal   compile a real pipeline with
+#                            HYDRIDE_JOURNAL set, validate the
+#                            provenance stream with
+#                            tools/check_journal.py, prove
+#                            `hydride-inspect explain --all`
+#                            reconstructs every window's ledger, then
+#                            re-run with an injected lowering fault
+#                            and require `hydride-inspect diff` to
+#                            flag the drift (docs/observability.md).
 
 TRACE_MODE=0
 CHAOS_MODE=0
@@ -60,6 +69,38 @@ if [ "$1" = "--sanitize" ]; then
 fi
 if [ "$1" = "--chaos" ]; then
     run_chaos
+    exit 0
+fi
+if [ "$1" = "--journal" ]; then
+    echo "===== provenance journal ====="
+    JDIR=build/journal
+    rm -rf "$JDIR"
+    mkdir -p "$JDIR"
+    # Base run: every compiled window must land in the journal with a
+    # complete decision ledger.
+    HYDRIDE_JOURNAL="$JDIR/base.jsonl" \
+        build/examples/matmul_codegen > /dev/null || exit 1
+    python3 tools/check_journal.py "$JDIR/base.jsonl" || exit 1
+    build/tools/hydride-inspect explain --all \
+        --journal "$JDIR/base.jsonl" || exit 1
+    build/tools/hydride-inspect top --by=time \
+        --journal "$JDIR/base.jsonl" || exit 1
+    # Perturbed run: force the lowering rung down and require the
+    # diff to notice. `diff` exits 1 on drift, so a clean exit here
+    # means the journal failed to capture the perturbation.
+    HYDRIDE_JOURNAL="$JDIR/perturbed.jsonl" HYDRIDE_FAULTS=lowering.fail \
+        build/examples/matmul_codegen > /dev/null || exit 1
+    python3 tools/check_journal.py "$JDIR/perturbed.jsonl" || exit 1
+    if build/tools/hydride-inspect diff "$JDIR/base.jsonl" \
+            "$JDIR/perturbed.jsonl"; then
+        echo "run_all: hydride-inspect diff missed the injected" \
+             "perturbation" >&2
+        exit 1
+    fi
+    # Identity diff must stay clean — drift detection, not noise.
+    build/tools/hydride-inspect diff "$JDIR/base.jsonl" \
+        "$JDIR/base.jsonl" || exit 1
+    echo "run_all: journal pipeline passed"
     exit 0
 fi
 if [ "$1" = "--bench" ]; then

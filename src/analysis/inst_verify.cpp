@@ -3,9 +3,8 @@
 #include "analysis/expr_check.h"
 #include "hir/bitvector.h"
 #include "observability/metrics.h"
+#include "support/env.h"
 
-#include <cstdlib>
-#include <cstring>
 #include <set>
 #include <utility>
 
@@ -597,9 +596,9 @@ verifyInstruction(const CanonicalSemantics &sem, unsigned rules,
 bool
 loadTimeVerifyEnabled()
 {
-    const char *env = std::getenv("HYDRIDE_VERIFY");
-    if (env && *env)
-        return std::strcmp(env, "0") != 0;
+    const env::Raw knob = env::raw("HYDRIDE_VERIFY");
+    if (knob.set && !knob.value.empty())
+        return knob.value != "0";
 #ifdef NDEBUG
     return false;
 #else

@@ -1,5 +1,6 @@
 #include "codegen/lowering.h"
 
+#include "observability/journal/journal.h"
 #include "support/error.h"
 #include "support/faults.h"
 #include "support/strings.h"
@@ -77,6 +78,23 @@ TargetProgram::print() const
     return os.str();
 }
 
+namespace {
+
+/** Lowering failures are rare and decision-relevant (they push the
+ *  driver down a rung), so each one lands in the journal. */
+void
+noteLoweringFailure(const std::string &isa, const std::string &error)
+{
+    if (!journal::enabled())
+        return;
+    auto fields = bjson::Value::makeObject();
+    fields->set("isa", bjson::Value::makeString(isa));
+    fields->set("error", bjson::Value::makeString(error));
+    journal::emitEvent("lowering", fields);
+}
+
+} // namespace
+
 LoweringResult
 lowerToTarget(const AutoModule &module, const AutoLLVMDict &dict,
               const std::string &isa)
@@ -91,6 +109,7 @@ lowerToTarget(const AutoModule &module, const AutoLLVMDict &dict,
     // falls back to macro expansion); injecting it exercises that rung.
     if (faults::shouldFail("lowering.fail")) {
         result.error = "injected lowering failure";
+        noteLoweringFailure(isa, result.error);
         return result;
     }
 
@@ -115,6 +134,7 @@ lowerToTarget(const AutoModule &module, const AutoLLVMDict &dict,
             result.error = format(
                 "class %s has no %s member with the required parameters",
                 dict.className(inst.op.class_id).c_str(), isa.c_str());
+            noteLoweringFailure(isa, result.error);
             return result;
         }
 

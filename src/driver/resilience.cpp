@@ -1,6 +1,7 @@
 #include "driver/resilience.h"
 
 #include "codegen/lowering.h"
+#include "observability/journal/journal.h"
 #include "observability/log.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
@@ -86,6 +87,13 @@ barrier(const char *stage, ResilientWindow &out,
         diags.push_back({stage, err.what()});
     }
     out.recovered = true;
+    if (journal::enabled()) {
+        // Crash-box: dump the flight ring the moment a barrier trips,
+        // so the decisions leading up to the failure survive even if
+        // the process never reaches the journal's atexit flush.
+        journal::flightDump(std::string(stage) + ": " +
+                            diags.back().detail);
+    }
     return false;
 }
 
@@ -123,12 +131,14 @@ ResilientCompiler::tryPrimary(const HExprPtr &window, ResilientWindow &out)
             if (!cached->ok) {
                 // Negative entry: synthesis already failed for this
                 // shape; skip straight to the fallback rungs.
+                out.cache_outcome = "negative";
                 metrics::counter("resilience.negative_cache.skips").add();
                 out.diagnostics.push_back(
                     {"synthesis.cache",
                      "negative cache entry; skipping synthesis"});
                 return false;
             }
+            out.cache_outcome = "hit";
             LoweringResult lowered =
                 lowerToTarget(cached->module, dict_, isa_);
             if (!lowered.ok) {
@@ -144,6 +154,7 @@ ResilientCompiler::tryPrimary(const HExprPtr &window, ResilientWindow &out)
             return true;
         }
 
+        out.cache_outcome = "miss";
         SynthesisResult synth =
             synthesizeWindow(dict_, isa_, window, options_.synthesis);
         // The note is "timeout" possibly extended by the unscaled
@@ -174,6 +185,9 @@ ResilientCompiler::tryPrimary(const HExprPtr &window, ResilientWindow &out)
         if (!synth.ok) {
             out.diagnostics.push_back(
                 {"stage.synthesis", "synthesis failed: " + synth.note});
+            // Keep the failed attempt's search effort: the window
+            // ledger reports CEGIS iterations even for degraded rungs.
+            out.synth = std::move(synth);
             return false;
         }
         LoweringResult lowered = lowerToTarget(synth.module, dict_, isa_);
@@ -181,6 +195,7 @@ ResilientCompiler::tryPrimary(const HExprPtr &window, ResilientWindow &out)
             out.diagnostics.push_back(
                 {"stage.lowering",
                  "synthesized window does not lower: " + lowered.error});
+            out.synth = std::move(synth);
             return false;
         }
         out.rung = Rung::Synthesized;
@@ -219,6 +234,7 @@ ResilientCompiler::compileWindow(const HExprPtr &window)
     ResilientWindow out;
     out.window = window;
     Stopwatch watch;
+    CpuStopwatch cpu;
     trace::TraceSpan span("driver.resilience.window");
     span.setAttr("isa", isa_);
     metrics::counter("resilience.windows").add();
@@ -253,6 +269,38 @@ ResilientCompiler::compileWindow(const HExprPtr &window)
     span.setAttr("recovered", out.recovered);
     span.setAttr("diagnostics",
                  static_cast<int64_t>(out.diagnostics.size()));
+
+    if (journal::enabled()) {
+        // The decision ledger: everything `hydride-inspect explain`
+        // prints for this window comes from this one event.
+        journal::WindowLedger ledger;
+        ledger.window_hash = journal::hashHex(HExpr::hashOf(window));
+        ledger.isa = isa_;
+        ledger.lanes = window->lanes;
+        ledger.elem_width = window->elem_width;
+        ledger.nodes = HExpr::sizeOf(window);
+        ledger.cache = out.cache_outcome;
+        ledger.rung = rungName(out.rung);
+        ledger.cegis_iterations = out.synth.cegis_iterations;
+        ledger.counterexamples = out.synth.counterexamples;
+        ledger.candidates_rejected = out.synth.candidates_rejected;
+        ledger.symbolic_refutations = out.synth.symbolic_refutations;
+        ledger.symbolic_unknowns = out.synth.symbolic_unknowns;
+        ledger.symbolic_verdict = out.synth.symbolic_verdict;
+        ledger.note = out.synth.note;
+        ledger.retries = out.retries;
+        ledger.recovered = out.recovered;
+        ledger.cost = out.rung == Rung::Scalarized
+                          ? scalarizedCost(window)
+                          : out.program.cost();
+        for (const auto &inst : out.program.insts)
+            ledger.insts.push_back(inst.inst_name);
+        for (const auto &diag : out.diagnostics)
+            ledger.faults.emplace_back(diag.site, diag.detail);
+        ledger.wall_ms = watch.millis();
+        ledger.cpu_ms = cpu.millis();
+        journal::emitWindow(ledger);
+    }
     return out;
 }
 

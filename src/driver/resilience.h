@@ -87,6 +87,9 @@ struct ResilientWindow
     Rung rung = Rung::Failed;
     bool ok = false;
     bool from_cache = false;
+    /** Memoization-cache outcome: "hit", "miss", "negative", or
+     *  "none" when a fault tripped before the lookup ran. */
+    std::string cache_outcome = "none";
     /** Escalated synthesis retries performed (0 or 1). */
     int retries = 0;
     /** A caught error was degraded past (ok may still be true). */

@@ -1,6 +1,7 @@
 #include "observability/log.h"
 
-#include <cstdlib>
+#include "support/env.h"
+
 #include <iostream>
 #include <mutex>
 
@@ -77,17 +78,28 @@ parseLevel(const std::string &text, Level &out)
 void
 configureFromEnv()
 {
-    if (const char *synth_debug = std::getenv("HYDRIDE_SYNTH_DEBUG")) {
-        if (*synth_debug && std::string(synth_debug) != "0")
-            setLevel(Level::Debug);
+    // Legacy switch: any enabled boolean spelling means `debug`.
+    const env::Raw synth_debug = env::raw("HYDRIDE_SYNTH_DEBUG");
+    if (synth_debug.set && !synth_debug.value.empty()) {
+        bool on = false;
+        if (env::parseBool(synth_debug.value, on)) {
+            if (on)
+                setLevel(Level::Debug);
+        } else {
+            write(Level::Warn,
+                  "unrecognized HYDRIDE_SYNTH_DEBUG `" +
+                      synth_debug.value + "` (want a boolean)");
+        }
     }
-    if (const char *env = std::getenv("HYDRIDE_LOG_LEVEL")) {
+    const env::Raw level_knob = env::raw("HYDRIDE_LOG_LEVEL");
+    if (level_knob.set) {
         Level parsed;
-        if (parseLevel(env, parsed))
+        if (parseLevel(level_knob.value, parsed))
             setLevel(parsed);
         else
-            write(Level::Warn, std::string("unrecognized HYDRIDE_LOG_LEVEL `") +
-                                   env + "` (want debug|info|warn|error|off)");
+            write(Level::Warn, "unrecognized HYDRIDE_LOG_LEVEL `" +
+                                   level_knob.value +
+                                   "` (want debug|info|warn|error|off)");
     }
 }
 

@@ -1,20 +1,15 @@
 #include "observability/metrics.h"
 
+#include "support/env.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
-
-#ifdef _WIN32
-#include <process.h>
-#else
-#include <unistd.h>
-#endif
 
 namespace hydride {
 namespace metrics {
@@ -422,23 +417,18 @@ resetValues()
 void
 configureFromEnv()
 {
-    const char *env = std::getenv("HYDRIDE_METRICS");
-    if (!env || !*env)
+    const env::Toggle knob = env::toggle("HYDRIDE_METRICS");
+    if (!knob.set)
         return;
-    const std::string value = env;
-    if (value == "0") {
+    if (!knob.enabled) {
         setEnabled(false);
         return;
     }
     setEnabled(true);
-    std::string path = value;
-    if (value == "1") {
-        path = "hydride_metrics." + std::to_string(getpid()) + ".json";
-        if (const char *dir = std::getenv("HYDRIDE_TRACE_DIR")) {
-            if (*dir)
-                path = std::string(dir) + "/" + path;
-        }
-    }
+    const std::string path =
+        knob.path.empty()
+            ? env::defaultArtifactPath("hydride_metrics", "json")
+            : knob.path;
     const bool was_registered = !exitPath().empty();
     exitPath() = path;
     if (!was_registered)

@@ -1,18 +1,13 @@
 #include "observability/trace.h"
 
+#include "support/env.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
-
-#ifdef _WIN32
-#include <process.h>
-#else
-#include <unistd.h>
-#endif
 
 namespace hydride {
 namespace trace {
@@ -297,25 +292,20 @@ writeChromeJson(const std::string &path)
 void
 configureFromEnv()
 {
-    const char *env = std::getenv("HYDRIDE_TRACE");
-    if (!env || !*env)
+    const env::Toggle knob = env::toggle("HYDRIDE_TRACE");
+    if (!knob.set)
         return;
-    const std::string value = env;
-    if (value == "0") {
+    if (!knob.enabled) {
         setEnabled(false);
         return;
     }
     setEnabled(true);
-    std::string path = value;
-    if (value == "1") {
-        // Default name carries the pid so parallel test runs under
-        // `run_all.sh --trace` do not clobber each other.
-        path = "hydride_trace." + std::to_string(getpid()) + ".json";
-        if (const char *dir = std::getenv("HYDRIDE_TRACE_DIR")) {
-            if (*dir)
-                path = std::string(dir) + "/" + path;
-        }
-    }
+    // The pid-suffixed default keeps parallel test runs under
+    // `run_all.sh --trace` from clobbering each other.
+    const std::string path =
+        knob.path.empty()
+            ? env::defaultArtifactPath("hydride_trace", "json")
+            : knob.path;
     const bool was_registered = !exitPath().empty();
     exitPath() = path;
     if (!was_registered)

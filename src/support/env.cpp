@@ -1,0 +1,125 @@
+#include "support/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace hydride {
+namespace env {
+
+Raw
+raw(const char *name)
+{
+    Raw out;
+    const char *value = std::getenv(name);
+    if (!value)
+        return out;
+    out.set = true;
+    out.value = value;
+    return out;
+}
+
+Toggle
+toggle(const char *name)
+{
+    Toggle out;
+    const Raw r = raw(name);
+    if (!r.set || r.value.empty())
+        return out;
+    out.set = true;
+    if (r.value == "0")
+        return out; // enabled stays false: force-disable.
+    out.enabled = true;
+    if (r.value != "1")
+        out.path = r.value;
+    return out;
+}
+
+bool
+parseBool(const std::string &text, bool &out)
+{
+    std::string lower = text;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "1" || lower == "true" || lower == "on" ||
+        lower == "yes") {
+        out = true;
+        return true;
+    }
+    if (lower.empty() || lower == "0" || lower == "false" ||
+        lower == "off" || lower == "no") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+boolOr(const char *name, bool fallback)
+{
+    const Raw r = raw(name);
+    if (!r.set || r.value.empty())
+        return fallback;
+    bool parsed = false;
+    if (!parseBool(r.value, parsed))
+        return fallback;
+    return parsed;
+}
+
+bool
+parseSize(const std::string &text, long long &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || value < 0)
+        return false;
+    long long scaled = value;
+    switch (*end) {
+    case '\0':
+        break;
+    case 'k': case 'K':
+        scaled = value << 10;
+        ++end;
+        break;
+    case 'm': case 'M':
+        scaled = value << 20;
+        ++end;
+        break;
+    case 'g': case 'G':
+        scaled = value << 30;
+        ++end;
+        break;
+    default:
+        return false;
+    }
+    if (*end != '\0')
+        return false;
+    out = scaled;
+    return true;
+}
+
+std::string
+artifactDir()
+{
+    const Raw dir = raw("HYDRIDE_TRACE_DIR");
+    if (dir.set && !dir.value.empty())
+        return dir.value;
+    return ".";
+}
+
+std::string
+defaultArtifactPath(const std::string &stem, const std::string &ext)
+{
+    return artifactDir() + "/" + stem + "." +
+           std::to_string(static_cast<long>(getpid())) + "." + ext;
+}
+
+} // namespace env
+} // namespace hydride

@@ -1,7 +1,9 @@
 #include "support/faults.h"
 
+#include "observability/journal/journal.h"
 #include "observability/log.h"
 #include "observability/metrics.h"
+#include "support/env.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -199,6 +201,18 @@ shouldFailSlow(const char *site, const std::string &key, bool has_key)
         fired.add();
         HYD_LOG(Debug, std::string("[faults] injected `") + site +
                            "` (hit " + std::to_string(hit) + ")");
+        if (journal::enabled()) {
+            // The injection lands in the provenance journal (and the
+            // flight-recorder ring), so a dump at the downstream error
+            // barrier shows *which* fault preceded the recovery.
+            auto fields = bjson::Value::makeObject();
+            fields->set("site", bjson::Value::makeString(site));
+            fields->set("hit", bjson::Value::makeNumber(
+                                   static_cast<double>(hit)));
+            if (!key.empty())
+                fields->set("key", bjson::Value::makeString(key));
+            journal::emitEvent("fault", fields);
+        }
     }
     return fire;
 }
@@ -223,24 +237,8 @@ argOf(const char *site)
 long long
 parseSizeArg(const std::string &text, long long fallback)
 {
-    if (text.empty())
-        return fallback;
-    char *end = nullptr;
-    long long value = std::strtoll(text.c_str(), &end, 10);
-    if (end == text.c_str() || value < 0)
-        return fallback;
-    switch (*end) {
-    case '\0':
-        return value;
-    case 'k': case 'K':
-        return value << 10;
-    case 'm': case 'M':
-        return value << 20;
-    case 'g': case 'G':
-        return value << 30;
-    default:
-        return fallback;
-    }
+    long long value = 0;
+    return env::parseSize(text, value) ? value : fallback;
 }
 
 bool
@@ -286,13 +284,13 @@ reset()
 void
 configureFromEnv()
 {
-    const char *env = std::getenv("HYDRIDE_FAULTS");
-    if (!env || !*env) {
+    const env::Raw spec = env::raw("HYDRIDE_FAULTS");
+    if (!spec.set || spec.value.empty()) {
         reset();
         return;
     }
     std::string error;
-    if (!configure(env, &error)) {
+    if (!configure(spec.value, &error)) {
         // A malformed HYDRIDE_FAULTS is a CLI-level configuration
         // error (the one place fatal() is still right): silently
         // testing nothing would defeat the chaos suite's point.

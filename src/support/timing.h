@@ -7,6 +7,7 @@
 #define HYDRIDE_SUPPORT_TIMING_H
 
 #include <chrono>
+#include <ctime>
 
 namespace hydride {
 
@@ -31,6 +32,43 @@ class Stopwatch
   private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_;
+};
+
+/**
+ * Per-thread CPU-time stopwatch. The provenance journal records both
+ * wall and CPU time per window so `hydride-inspect top --by=time`
+ * can tell a slow solver from a loaded machine.
+ */
+class CpuStopwatch
+{
+  public:
+    CpuStopwatch() : start_(now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = now(); }
+
+    /** CPU seconds this thread spent since construction or reset. */
+    double seconds() const { return now() - start_; }
+
+    /** CPU time in milliseconds. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    static double now()
+    {
+#ifdef _WIN32
+        // Portability fallback: process CPU time, no thread clock.
+        return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#else
+        timespec ts;
+        if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+            return 0.0;
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    }
+
+    double start_;
 };
 
 } // namespace hydride

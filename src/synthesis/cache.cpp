@@ -1,5 +1,6 @@
 #include "synthesis/cache.h"
 
+#include "observability/journal/journal.h"
 #include "observability/log.h"
 #include "observability/metrics.h"
 #include "support/faults.h"
@@ -228,15 +229,47 @@ SynthesisCache::save(const std::string &path, const AutoLLVMDict &dict) const
     return true;
 }
 
+namespace {
+
+/** `cache.load.*` observability: salvage must be visible without
+ *  reading stderr, so every load outcome lands in the metrics
+ *  registry and (when enabled) the provenance journal. */
+void
+noteLoadOutcome(const std::string &path, bool ok, bool salvaged,
+                size_t entries)
+{
+    metrics::counter("cache.load.attempts").add();
+    if (!ok)
+        metrics::counter("cache.load.failures").add();
+    if (salvaged)
+        metrics::counter("cache.load.salvaged").add();
+    metrics::counter("cache.load.entries").add(entries);
+    if (journal::enabled()) {
+        auto fields = bjson::Value::makeObject();
+        fields->set("path", bjson::Value::makeString(path));
+        fields->set("ok", bjson::Value::makeBool(ok));
+        fields->set("salvaged", bjson::Value::makeBool(salvaged));
+        fields->set("entries", bjson::Value::makeNumber(
+                                   static_cast<double>(entries)));
+        journal::emitEvent("cache_load", fields);
+    }
+}
+
+} // namespace
+
 bool
 SynthesisCache::load(const std::string &path, const AutoLLVMDict &dict)
 {
     std::ifstream in(path);
-    if (!in)
+    if (!in) {
+        noteLoadOutcome(path, false, false, 0);
         return false;
+    }
     std::string header;
-    if (!std::getline(in, header))
+    if (!std::getline(in, header)) {
+        noteLoadOutcome(path, false, false, 0);
         return false;
+    }
     std::istringstream hdr(header);
     std::string magic;
     std::string version;
@@ -244,6 +277,7 @@ SynthesisCache::load(const std::string &path, const AutoLLVMDict &dict)
     hdr >> magic >> version >> fingerprint;
     if (magic != "hydride-synth-cache" || version != "v2" ||
         fingerprint != dictFingerprint(dict)) {
+        noteLoadOutcome(path, false, false, 0);
         return false;
     }
 
@@ -292,17 +326,13 @@ SynthesisCache::load(const std::string &path, const AutoLLVMDict &dict)
     if (in_block)
         last_load_.salvaged = true; // Truncated final block.
     if (last_load_.salvaged) {
-        static metrics::Counter &salvages =
-            metrics::counter("synthesis.cache.load_salvaged");
-        salvages.add();
         HYD_LOG(Warn,
                 format("synthesis cache `%s` is damaged; salvaged the "
                        "valid prefix (%zu entries)",
                        path.c_str(), last_load_.entries_loaded));
     }
-    static metrics::Counter &loaded =
-        metrics::counter("synthesis.cache.entries_loaded");
-    loaded.add(last_load_.entries_loaded);
+    noteLoadOutcome(path, true, last_load_.salvaged,
+                    last_load_.entries_loaded);
     return true;
 }
 

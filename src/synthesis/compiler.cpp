@@ -2,6 +2,7 @@
 
 #include "codegen/lowering.h"
 #include "observability/bench/phase_profiler.h"
+#include "observability/journal/journal.h"
 #include "observability/log.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
@@ -42,6 +43,42 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
     trace::TraceSpan span("synthesis.compiler.window");
     span.setAttr("isa", isa_);
 
+    // Provenance ledger: one "window" journal event per compiled
+    // window, whatever path it takes. Everything below is behind the
+    // one relaxed `jrnl` load, so the disabled cost stays at zero.
+    const bool jrnl = journal::enabled();
+    CpuStopwatch cpu;
+    journal::WindowLedger ledger;
+    if (jrnl) {
+        ledger.window_hash = journal::hashHex(HExpr::hashOf(window));
+        ledger.isa = isa_;
+        ledger.lanes = window->lanes;
+        ledger.elem_width = window->elem_width;
+        ledger.nodes = HExpr::sizeOf(window);
+        ledger.cache = "miss";
+    }
+    auto emitLedger = [&](const char *rung, const SynthesisResult *synth) {
+        if (!jrnl)
+            return;
+        ledger.rung = rung;
+        if (synth) {
+            ledger.cegis_iterations = synth->cegis_iterations;
+            ledger.counterexamples = synth->counterexamples;
+            ledger.candidates_rejected = synth->candidates_rejected;
+            ledger.symbolic_refutations = synth->symbolic_refutations;
+            ledger.symbolic_unknowns = synth->symbolic_unknowns;
+            ledger.symbolic_verdict = synth->symbolic_verdict;
+            if (!synth->note.empty())
+                ledger.note = synth->note; // Negative hits keep theirs.
+        }
+        ledger.cost = out.program.cost();
+        for (const auto &inst : out.program.insts)
+            ledger.insts.push_back(inst.inst_name);
+        ledger.wall_ms = watch.millis();
+        ledger.cpu_ms = cpu.millis();
+        journal::emitWindow(ledger);
+    };
+
     // Memoization cache first (paper §4.1).
     const SynthesisResult *cached = nullptr;
     {
@@ -70,10 +107,17 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
             out.synth = *cached;
             out.program = std::move(lowered.program);
             out.synth_seconds = watch.seconds();
+            if (jrnl)
+                ledger.cache = "hit";
+            emitLedger("cached", &out.synth);
             return out;
         }
         // Negative cache entry: skip synthesis, go straight to the
         // fallback below.
+        if (jrnl) {
+            ledger.cache = "negative";
+            ledger.note = cached->note;
+        }
     } else {
         SynthesisResult synth = synthesizeWindow(dict_, isa_, window,
                                                  options_);
@@ -89,12 +133,15 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
                 out.synth = std::move(synth);
                 out.program = std::move(lowered.program);
                 out.synth_seconds = watch.seconds();
+                emitLedger("synthesized", &out.synth);
                 return out;
             }
             HYD_LOG(Info, "lowering synthesized window on " + isa_ +
                               " failed (" + lowered.error +
                               "); falling back to macro expansion");
         }
+        // Keep the failed attempt's search effort for the ledger.
+        out.synth = std::move(synth);
     }
 
     // Fallback: macro expansion, like the baseline compiler.
@@ -104,6 +151,7 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
     fallbacks.add();
     ExpandResult expanded = fallback_.expand(window);
     if (!expanded.ok) {
+        emitLedger("failed", &out.synth);
         // Library code must not exit the process: throw a structured
         // error the resilient driver (or any caller) can catch and
         // degrade from (driver/resilience.h walks on to
@@ -114,6 +162,7 @@ HydrideCompiler::compileWindow(const HExprPtr &window)
     }
     out.program = std::move(expanded.program);
     out.synth_seconds = watch.seconds();
+    emitLedger("macro_expanded", &out.synth);
     return out;
 }
 

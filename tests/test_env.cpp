@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the centralized HYDRIDE_* environment-knob parsing
+ * (src/support/env.h): the raw accessor, the shared switch-or-path
+ * toggle grammar, boolean and size knobs, and the artifact-path
+ * helpers. One test per knob grammar, exercising unset, empty,
+ * canonical, and malformed spellings.
+ */
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "support/env.h"
+
+using namespace hydride;
+
+namespace {
+
+/** Restore one variable to "unset" when a test ends. */
+class EnvGuard
+{
+  public:
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        unsetenv(name);
+    }
+    ~EnvGuard() { unsetenv(name_); }
+    void set(const char *value) { setenv(name_, value, 1); }
+
+  private:
+    const char *name_;
+};
+
+TEST(Env, RawDistinguishesUnsetFromEmpty)
+{
+    EnvGuard guard("HYDRIDE_TEST_RAW");
+    env::Raw unset = env::raw("HYDRIDE_TEST_RAW");
+    EXPECT_FALSE(unset.set);
+    EXPECT_TRUE(unset.value.empty());
+
+    guard.set("");
+    env::Raw empty = env::raw("HYDRIDE_TEST_RAW");
+    EXPECT_TRUE(empty.set);
+    EXPECT_TRUE(empty.value.empty());
+
+    guard.set("hello");
+    env::Raw value = env::raw("HYDRIDE_TEST_RAW");
+    EXPECT_TRUE(value.set);
+    EXPECT_EQ(value.value, "hello");
+}
+
+TEST(Env, ToggleGrammar)
+{
+    EnvGuard guard("HYDRIDE_TEST_TOGGLE");
+
+    // Unset and empty both leave defaults alone.
+    EXPECT_FALSE(env::toggle("HYDRIDE_TEST_TOGGLE").set);
+    guard.set("");
+    EXPECT_FALSE(env::toggle("HYDRIDE_TEST_TOGGLE").set);
+
+    guard.set("0");
+    env::Toggle off = env::toggle("HYDRIDE_TEST_TOGGLE");
+    EXPECT_TRUE(off.set);
+    EXPECT_FALSE(off.enabled);
+    EXPECT_TRUE(off.path.empty());
+
+    guard.set("1");
+    env::Toggle on = env::toggle("HYDRIDE_TEST_TOGGLE");
+    EXPECT_TRUE(on.set);
+    EXPECT_TRUE(on.enabled);
+    EXPECT_TRUE(on.path.empty()); // Caller derives the default path.
+
+    guard.set("/tmp/explicit.json");
+    env::Toggle path = env::toggle("HYDRIDE_TEST_TOGGLE");
+    EXPECT_TRUE(path.set);
+    EXPECT_TRUE(path.enabled);
+    EXPECT_EQ(path.path, "/tmp/explicit.json");
+}
+
+TEST(Env, ParseBoolSpellings)
+{
+    bool out = false;
+    for (const char *yes : {"1", "true", "TRUE", "True", "on", "yes"}) {
+        out = false;
+        EXPECT_TRUE(env::parseBool(yes, out)) << yes;
+        EXPECT_TRUE(out) << yes;
+    }
+    for (const char *no : {"0", "false", "FALSE", "off", "no", ""}) {
+        out = true;
+        EXPECT_TRUE(env::parseBool(no, out)) << no;
+        EXPECT_FALSE(out) << no;
+    }
+    // Malformed input reports failure and leaves `out` untouched.
+    out = true;
+    EXPECT_FALSE(env::parseBool("maybe", out));
+    EXPECT_TRUE(out);
+    out = false;
+    EXPECT_FALSE(env::parseBool("2", out));
+    EXPECT_FALSE(out);
+}
+
+TEST(Env, BoolOrFailsClosed)
+{
+    EnvGuard guard("HYDRIDE_TEST_BOOL");
+    EXPECT_TRUE(env::boolOr("HYDRIDE_TEST_BOOL", true));
+    EXPECT_FALSE(env::boolOr("HYDRIDE_TEST_BOOL", false));
+
+    guard.set("yes");
+    EXPECT_TRUE(env::boolOr("HYDRIDE_TEST_BOOL", false));
+    guard.set("off");
+    EXPECT_FALSE(env::boolOr("HYDRIDE_TEST_BOOL", true));
+
+    // Empty and malformed both read as the fallback.
+    guard.set("");
+    EXPECT_TRUE(env::boolOr("HYDRIDE_TEST_BOOL", true));
+    guard.set("banana");
+    EXPECT_TRUE(env::boolOr("HYDRIDE_TEST_BOOL", true));
+    EXPECT_FALSE(env::boolOr("HYDRIDE_TEST_BOOL", false));
+}
+
+TEST(Env, ParseSizeSuffixes)
+{
+    long long out = 0;
+    EXPECT_TRUE(env::parseSize("0", out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(env::parseSize("12345", out));
+    EXPECT_EQ(out, 12345);
+    EXPECT_TRUE(env::parseSize("64k", out));
+    EXPECT_EQ(out, 64LL * 1024);
+    EXPECT_TRUE(env::parseSize("64K", out));
+    EXPECT_EQ(out, 64LL * 1024);
+    EXPECT_TRUE(env::parseSize("2m", out));
+    EXPECT_EQ(out, 2LL * 1024 * 1024);
+    EXPECT_TRUE(env::parseSize("3G", out));
+    EXPECT_EQ(out, 3LL * 1024 * 1024 * 1024);
+
+    for (const char *bad : {"", "-1", "12x", "k", "1.5M", "0x10"}) {
+        long long keep = 777;
+        EXPECT_FALSE(env::parseSize(bad, keep)) << bad;
+        EXPECT_EQ(keep, 777) << bad;
+    }
+}
+
+TEST(Env, ArtifactDirFollowsTraceDir)
+{
+    EnvGuard guard("HYDRIDE_TRACE_DIR");
+    EXPECT_EQ(env::artifactDir(), ".");
+    guard.set("");
+    EXPECT_EQ(env::artifactDir(), ".");
+    guard.set("/tmp/artifacts");
+    EXPECT_EQ(env::artifactDir(), "/tmp/artifacts");
+}
+
+TEST(Env, DefaultArtifactPathIsPidSuffixed)
+{
+    EnvGuard guard("HYDRIDE_TRACE_DIR");
+    guard.set("/tmp/art");
+    const std::string path = env::defaultArtifactPath("trace", "json");
+    const std::string pid = std::to_string(::getpid());
+    EXPECT_EQ(path, "/tmp/art/trace." + pid + ".json");
+}
+
+} // namespace

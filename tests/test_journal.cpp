@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the synthesis provenance journal and flight recorder
+ * (src/observability/journal): disabled-mode no-ops, the JSONL
+ * schema (header + enveloped events), window-ledger round-trips,
+ * truncation salvage in readJournal, the bounded flight ring, and
+ * the hashHex spelling `hydride-inspect` keys on.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "observability/journal/journal.h"
+
+using namespace hydride;
+
+namespace {
+
+class JournalTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        journal::resetForTest();
+        path_ = ::testing::TempDir() + "hydride_journal_ut." +
+                std::to_string(::getpid()) + ".jsonl";
+        std::remove(path_.c_str());
+    }
+    void TearDown() override
+    {
+        journal::resetForTest();
+        std::remove(path_.c_str());
+    }
+
+    static std::string
+    slurp(const std::string &path)
+    {
+        std::ifstream in(path);
+        std::ostringstream text;
+        text << in.rdbuf();
+        return text.str();
+    }
+
+    static journal::WindowLedger
+    sampleLedger()
+    {
+        journal::WindowLedger ledger;
+        ledger.window_hash = journal::hashHex(0xDEADBEEFCAFEF00DULL);
+        ledger.isa = "x86";
+        ledger.lanes = 16;
+        ledger.elem_width = 16;
+        ledger.nodes = 5;
+        ledger.cache = "miss";
+        ledger.rung = "synthesized";
+        ledger.cegis_iterations = 2;
+        ledger.counterexamples = 1;
+        ledger.candidates_rejected = 40;
+        ledger.symbolic_verdict = "proved";
+        ledger.cost = 5.0;
+        ledger.insts = {"_mm256_adds_epi16"};
+        ledger.wall_ms = 1.5;
+        ledger.cpu_ms = 1.25;
+        return ledger;
+    }
+
+    std::string path_;
+};
+
+TEST_F(JournalTest, DisabledByDefaultAndNoOp)
+{
+    EXPECT_FALSE(journal::enabled());
+    journal::setOutputPath(path_);
+    journal::emitWindow(sampleLedger());
+    journal::emitEvent("noise", nullptr);
+    journal::flush();
+    // Nothing may touch the disk while disabled.
+    std::ifstream in(path_);
+    EXPECT_FALSE(in.good());
+}
+
+TEST_F(JournalTest, HeaderAndEnvelope)
+{
+    journal::setOutputPath(path_);
+    journal::setEnabled(true);
+    journal::emitWindow(sampleLedger());
+    journal::flush();
+
+    const journal::Journal parsed = journal::readJournal(path_);
+    ASSERT_TRUE(parsed.error.empty()) << parsed.error;
+    EXPECT_FALSE(parsed.truncated);
+    ASSERT_TRUE(parsed.header);
+    EXPECT_EQ(parsed.header->getString("schema", ""),
+              journal::kSchema);
+    EXPECT_EQ(parsed.header->getNumber("pid", 0),
+              double(::getpid()));
+    ASSERT_EQ(parsed.events.size(), 1u);
+
+    const bjson::Value &event = *parsed.events[0];
+    EXPECT_EQ(event.getString("kind", ""), "window");
+    EXPECT_GE(event.getNumber("seq", 0), 1.0);
+    EXPECT_GE(event.getNumber("thread", 0), 1.0);
+    EXPECT_TRUE(event.get("t_ms"));
+}
+
+TEST_F(JournalTest, WindowLedgerRoundTrips)
+{
+    journal::setOutputPath(path_);
+    journal::setEnabled(true);
+    journal::emitWindow(sampleLedger());
+    journal::flush();
+
+    const journal::Journal parsed = journal::readJournal(path_);
+    ASSERT_EQ(parsed.events.size(), 1u);
+    const bjson::Value &event = *parsed.events[0];
+    EXPECT_EQ(event.getString("hash", ""), "deadbeefcafef00d");
+    EXPECT_EQ(event.getString("isa", ""), "x86");
+    const bjson::Value *shape = event.get("shape");
+    ASSERT_TRUE(shape);
+    EXPECT_EQ(shape->getNumber("lanes", 0), 16.0);
+    EXPECT_EQ(shape->getNumber("elem_width", 0), 16.0);
+    EXPECT_EQ(shape->getNumber("nodes", 0), 5.0);
+    EXPECT_EQ(event.getString("cache", ""), "miss");
+    EXPECT_EQ(event.getString("rung", ""), "synthesized");
+    const bjson::Value *cegis = event.get("cegis");
+    ASSERT_TRUE(cegis);
+    EXPECT_EQ(cegis->getNumber("iterations", 0), 2.0);
+    EXPECT_EQ(cegis->getNumber("counterexamples", 0), 1.0);
+    EXPECT_EQ(cegis->getNumber("rejected", 0), 40.0);
+    EXPECT_EQ(cegis->getString("verdict", ""), "proved");
+    EXPECT_EQ(event.getNumber("cost", 0), 5.0);
+    const bjson::Value *insts = event.get("insts");
+    ASSERT_TRUE(insts && insts->isArray());
+    ASSERT_EQ(insts->items.size(), 1u);
+    EXPECT_EQ(insts->items[0]->stringOr(""), "_mm256_adds_epi16");
+    EXPECT_EQ(event.getNumber("wall_ms", 0), 1.5);
+    EXPECT_EQ(event.getNumber("cpu_ms", 0), 1.25);
+}
+
+TEST_F(JournalTest, SequenceNumbersAreUniqueAndIncreasing)
+{
+    journal::setOutputPath(path_);
+    journal::setEnabled(true);
+    for (int i = 0; i < 5; ++i) {
+        auto fields = bjson::Value::makeObject();
+        fields->set("i", bjson::Value::makeNumber(i));
+        journal::emitEvent("tick", fields);
+    }
+    journal::flush();
+
+    const journal::Journal parsed = journal::readJournal(path_);
+    ASSERT_EQ(parsed.events.size(), 5u);
+    double last = 0;
+    for (const auto &event : parsed.events) {
+        const double seq = event->getNumber("seq", 0);
+        EXPECT_GT(seq, last);
+        last = seq;
+    }
+}
+
+TEST_F(JournalTest, TruncatedFinalLineIsSalvage)
+{
+    journal::setOutputPath(path_);
+    journal::setEnabled(true);
+    journal::emitWindow(sampleLedger());
+    journal::emitEvent("tick", nullptr);
+    journal::flush();
+    journal::setOutputPath(""); // Close the file before appending.
+
+    {
+        std::ofstream out(path_, std::ios::app);
+        out << "{\"kind\":\"window\",\"seq\":99,\"thr"; // Died mid-write.
+    }
+    const journal::Journal parsed = journal::readJournal(path_);
+    EXPECT_TRUE(parsed.error.empty()) << parsed.error;
+    EXPECT_TRUE(parsed.truncated);
+    EXPECT_EQ(parsed.events.size(), 2u); // The good prefix survives.
+}
+
+TEST_F(JournalTest, MalformedMiddleLineIsAnError)
+{
+    {
+        std::ofstream out(path_);
+        out << "{\"schema\":\"hydride-journal/v1\",\"kind\":\"header\","
+               "\"pid\":1}\n";
+        out << "not json at all\n";
+        out << "{\"kind\":\"tick\",\"seq\":1,\"thread\":1,\"t_ms\":0}\n";
+    }
+    const journal::Journal parsed = journal::readJournal(path_);
+    EXPECT_FALSE(parsed.error.empty());
+}
+
+TEST_F(JournalTest, MissingFileIsAnError)
+{
+    const journal::Journal parsed =
+        journal::readJournal(path_ + ".does-not-exist");
+    EXPECT_FALSE(parsed.error.empty());
+}
+
+TEST_F(JournalTest, FlightDumpIsBoundedAndSeqOrdered)
+{
+    // Flight-only mode: no journal path, events feed the ring only.
+    journal::setEnabled(true);
+    journal::setFlightDir(::testing::TempDir());
+    journal::setFlightCapacity(8);
+    for (int i = 0; i < 50; ++i) {
+        auto fields = bjson::Value::makeObject();
+        fields->set("i", bjson::Value::makeNumber(i));
+        journal::emitEvent("tick", fields);
+    }
+    const std::string dump = journal::flightDump("unit test");
+    ASSERT_FALSE(dump.empty());
+
+    std::string error;
+    const bjson::ValuePtr doc = bjson::parse(slurp(dump), error);
+    ASSERT_TRUE(doc) << error;
+    EXPECT_EQ(doc->getString("schema", ""), journal::kFlightSchema);
+    EXPECT_EQ(doc->getString("kind", ""), "flight");
+    EXPECT_EQ(doc->getString("reason", ""), "unit test");
+    const bjson::Value *events = doc->get("events");
+    ASSERT_TRUE(events && events->isArray());
+    // The ring is bounded: only the most recent events survive.
+    ASSERT_EQ(events->items.size(), 8u);
+    double last = 0;
+    for (const auto &event : events->items) {
+        const double seq = event->getNumber("seq", 0);
+        EXPECT_GT(seq, last);
+        last = seq;
+        EXPECT_GE(event->getNumber("i", -1), 42.0);
+    }
+    std::remove(dump.c_str());
+}
+
+TEST_F(JournalTest, FlightDumpWhileDisabledIsEmpty)
+{
+    EXPECT_FALSE(journal::enabled());
+    EXPECT_EQ(journal::flightDump("never"), "");
+}
+
+TEST(JournalHash, HashHexIs16LowercaseDigits)
+{
+    EXPECT_EQ(journal::hashHex(0), "0000000000000000");
+    EXPECT_EQ(journal::hashHex(0xABCULL), "0000000000000abc");
+    EXPECT_EQ(journal::hashHex(0xFFFFFFFFFFFFFFFFULL),
+              "ffffffffffffffff");
+}
+
+} // namespace

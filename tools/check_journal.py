@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate Hydride provenance-journal artifacts.
+
+Usage:
+    check_journal.py JOURNAL.jsonl [MORE.jsonl ...]
+
+Validates `hydride-journal/v1` JSON Lines files (one header line,
+then one self-contained event object per line) and
+`hydride-flight/v1` flight-recorder dumps (one JSON document whose
+`events` array holds journal events).
+
+Journal checks: the header leads the file and names the schema;
+every line parses as a JSON object; every event carries the envelope
+(kind, seq, thread, t_ms); seq values are unique across the file
+(threads flush independently, so order on disk need not be sorted);
+and every "window" event carries the *complete* decision ledger —
+hash, isa, shape, cache outcome, rung, CEGIS effort, cost,
+instructions, faults, wall/CPU time. A truncated final line (process
+died mid-write) is a validation FAILURE here: this tool is the strict
+gate; `hydride-inspect` is the salvage path.
+
+Exits non-zero, naming the file and problem, on the first invalid
+artifact. Stdlib only.
+"""
+import json
+import sys
+
+JOURNAL_SCHEMA = "hydride-journal/v1"
+FLIGHT_SCHEMA = "hydride-flight/v1"
+
+RUNGS = {"synthesized", "cached", "macro_expanded", "scalarized",
+         "failed"}
+CACHE_OUTCOMES = {"hit", "miss", "negative", "none"}
+
+WINDOW_REQUIRED = ("hash", "isa", "shape", "cache", "rung", "cegis",
+                   "retries", "recovered", "cost", "insts", "faults",
+                   "wall_ms", "cpu_ms")
+SHAPE_REQUIRED = ("lanes", "elem_width", "nodes")
+CEGIS_REQUIRED = ("iterations", "counterexamples", "rejected",
+                  "symbolic_refutations", "symbolic_unknowns",
+                  "verdict")
+
+
+def fail(path, message):
+    print(f"check_journal: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_envelope(path, where, event):
+    if not isinstance(event, dict):
+        fail(path, f"{where} is not an object")
+    for key in ("kind", "seq", "thread", "t_ms"):
+        if key not in event:
+            fail(path, f"{where} missing envelope field '{key}'")
+    if not isinstance(event["kind"], str) or not event["kind"]:
+        fail(path, f"{where} kind is not a non-empty string")
+    for key in ("seq", "thread"):
+        if not isinstance(event[key], (int, float)) or event[key] < 1:
+            fail(path, f"{where} {key} is not a positive number")
+    if not isinstance(event["t_ms"], (int, float)):
+        fail(path, f"{where} t_ms is not numeric")
+
+
+def check_window(path, where, event):
+    for key in WINDOW_REQUIRED:
+        if key not in event:
+            fail(path, f"{where} window ledger missing '{key}'")
+    window_hash = event["hash"]
+    if (not isinstance(window_hash, str) or len(window_hash) != 16 or
+            any(c not in "0123456789abcdef" for c in window_hash)):
+        fail(path, f"{where} hash is not 16 lowercase hex digits")
+    shape = event["shape"]
+    if not isinstance(shape, dict):
+        fail(path, f"{where} shape is not an object")
+    for key in SHAPE_REQUIRED:
+        if not isinstance(shape.get(key), (int, float)):
+            fail(path, f"{where} shape.{key} is not numeric")
+    if event["cache"] not in CACHE_OUTCOMES:
+        fail(path, f"{where} cache outcome '{event['cache']}' not in "
+                   f"{sorted(CACHE_OUTCOMES)}")
+    if event["rung"] not in RUNGS:
+        fail(path, f"{where} rung '{event['rung']}' not in "
+                   f"{sorted(RUNGS)}")
+    cegis = event["cegis"]
+    if not isinstance(cegis, dict):
+        fail(path, f"{where} cegis is not an object")
+    for key in CEGIS_REQUIRED:
+        if key not in cegis:
+            fail(path, f"{where} cegis missing '{key}'")
+    if not isinstance(event["insts"], list):
+        fail(path, f"{where} insts is not a list")
+    if not isinstance(event["faults"], list):
+        fail(path, f"{where} faults is not a list")
+    for key in ("wall_ms", "cpu_ms", "cost"):
+        if not isinstance(event[key], (int, float)):
+            fail(path, f"{where} {key} is not numeric")
+
+
+def check_events(path, events, seqs):
+    windows = 0
+    for where, event in events:
+        check_envelope(path, where, event)
+        seq = event["seq"]
+        if seq in seqs:
+            fail(path, f"{where} duplicate seq {seq}")
+        seqs.add(seq)
+        if event["kind"] == "window":
+            check_window(path, where, event)
+            windows += 1
+    return windows
+
+
+def check_journal(path, text):
+    lines = text.splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    if not lines:
+        fail(path, "journal is empty")
+    parsed = []
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        try:
+            parsed.append((where, json.loads(line)))
+        except json.JSONDecodeError as err:
+            if i + 1 == len(lines):
+                fail(path, f"{where} is truncated (process died "
+                           f"mid-write): {err}")
+            fail(path, f"{where} is malformed JSON: {err}")
+    where, header = parsed[0]
+    if not isinstance(header, dict) or \
+            header.get("schema") != JOURNAL_SCHEMA or \
+            header.get("kind") != "header":
+        fail(path, f"{where} is not a {JOURNAL_SCHEMA} header")
+    if not isinstance(header.get("pid"), (int, float)):
+        fail(path, f"{where} header pid is not numeric")
+    windows = check_events(path, parsed[1:], set())
+    return len(parsed) - 1, windows
+
+
+def check_flight(path, doc):
+    if doc.get("kind") != "flight":
+        fail(path, "flight dump kind is not 'flight'")
+    for key in ("pid", "t_ms"):
+        if not isinstance(doc.get(key), (int, float)):
+            fail(path, f"flight dump {key} is not numeric")
+    if not isinstance(doc.get("reason"), str) or not doc["reason"]:
+        fail(path, "flight dump has no reason")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        fail(path, "flight dump events is not a list")
+    numbered = [(f"events[{i}]", event)
+                for i, event in enumerate(events)]
+    windows = check_events(path, numbered, set())
+    return len(events), windows
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as err:
+            fail(path, f"cannot read: {err}")
+        # A flight dump is one pretty-printed JSON document; a
+        # journal is JSON Lines. Dispatch on the schema tag.
+        doc = None
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            pass
+        if isinstance(doc, dict) and doc.get("schema") == FLIGHT_SCHEMA:
+            events, windows = check_flight(path, doc)
+            print(f"check_journal: {path}: OK flight dump "
+                  f"({events} events, {windows} window ledgers)")
+        else:
+            events, windows = check_journal(path, text)
+            print(f"check_journal: {path}: OK journal "
+                  f"({events} events, {windows} window ledgers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

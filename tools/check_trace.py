@@ -7,11 +7,24 @@ Usage:
 Checks that each trace file is well-formed Chrome trace_event JSON
 (every event carries name/ph/pid/tid/ts, complete events a numeric
 dur) and that each metrics file has the counters/gauges/histograms
-shape with consistent bucket arrays. Exits non-zero, naming the file
-and the problem, on the first malformed artifact. Stdlib only.
+shape with consistent bucket arrays.
+
+Beyond shape, traces are checked *structurally*: duration ("B"/"E")
+events must pair up per thread in LIFO order, and spans on one thread
+must nest strictly — a span either contains another or is disjoint
+from it; partial overlap means the span stack was corrupted (an
+early return skipped a destructor, or timestamps went backwards).
+
+Exits non-zero, naming the file and the problem, on the first
+malformed artifact. Stdlib only.
 """
 import json
 import sys
+
+# Tolerance for float microsecond comparisons: spans are recorded at
+# nanosecond granularity, so anything below half a nanosecond is
+# representation noise, not real overlap.
+EPS = 0.0005
 
 
 def fail(path, message):
@@ -44,7 +57,73 @@ def check_trace(path, doc):
         args = event.get("args")
         if args is not None and not isinstance(args, dict):
             fail(path, f"{where} args is not an object")
+    check_span_pairing(path, events)
+    check_span_nesting(path, events)
     return len(events)
+
+
+def check_span_pairing(path, events):
+    """Per-thread "B"/"E" events must pair up in strict LIFO order."""
+    stacks = {}
+    for i, event in enumerate(events):
+        phase = event["ph"]
+        if phase not in ("B", "E"):
+            continue
+        tid = event["tid"]
+        where = f"traceEvents[{i}] (tid {tid})"
+        stack = stacks.setdefault(tid, [])
+        if phase == "B":
+            stack.append((event["name"], i))
+        else:
+            if not stack:
+                fail(path, f"{where} ends span '{event['name']}' "
+                           "with no open span on this thread")
+            open_name, open_at = stack.pop()
+            # Chrome's E events may omit the name; when present it
+            # must close the innermost open span.
+            name = event.get("name")
+            if name and name != open_name:
+                fail(path,
+                     f"{where} ends span '{name}' but the innermost "
+                     f"open span is '{open_name}' "
+                     f"(opened at traceEvents[{open_at}])")
+    for tid, stack in stacks.items():
+        if stack:
+            name, at = stack[-1]
+            fail(path, f"span '{name}' (traceEvents[{at}], tid {tid}) "
+                       "is never closed")
+
+
+def check_span_nesting(path, events):
+    """Complete ("X") spans on one thread must nest strictly.
+
+    Sweep each thread's spans in start order (ties: longest first,
+    since the parent of equal-start spans must enclose the child) and
+    keep a stack of enclosing end times. A span starting inside its
+    enclosing span but ending outside it partially overlaps — the
+    hallmark of a corrupted span stack.
+    """
+    per_tid = {}
+    for i, event in enumerate(events):
+        if event["ph"] != "X":
+            continue
+        per_tid.setdefault(event["tid"], []).append(
+            (event["ts"], -event["dur"], event["name"], i))
+    for tid, spans in per_tid.items():
+        spans.sort()
+        stack = []  # (end_ts, name, index) of enclosing spans.
+        for ts, neg_dur, name, i in spans:
+            end = ts - neg_dur
+            while stack and stack[-1][0] <= ts + EPS:
+                stack.pop()
+            if stack and end > stack[-1][0] + EPS:
+                outer_end, outer_name, outer_i = stack[-1]
+                fail(path,
+                     f"traceEvents[{i}] span '{name}' "
+                     f"[{ts}, {end}] (tid {tid}) partially overlaps "
+                     f"'{outer_name}' (traceEvents[{outer_i}], ends at "
+                     f"{outer_end}); spans must nest or be disjoint")
+            stack.append((end, name, i))
 
 
 def check_metrics(path, doc):

@@ -42,7 +42,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,7 @@
 
 #include "analysis/symbolic/ir_equiv.h"
 #include "driver/resilience.h"
+#include "observability/journal/journal.h"
 #include "observability/metrics.h"
 #include "support/error.h"
 #include "support/faults.h"
@@ -162,6 +165,54 @@ verifyWindow(const AutoLLVMDict &dict, const ResilientWindow &window,
     return true;
 }
 
+/**
+ * Check a flight-recorder dump the way docs/observability.md promises
+ * it: a single parseable `hydride-flight/v1` document with a reason
+ * and at least one enveloped event.
+ */
+bool
+flightDumpValid(const std::string &path, std::string &why)
+{
+    std::ifstream in(path);
+    if (!in) {
+        why = "dump `" + path + "` was never written";
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const bjson::ValuePtr doc = bjson::parse(text.str(), error);
+    if (!doc || !doc->isObject()) {
+        why = "dump is not a JSON object: " + error;
+        return false;
+    }
+    if (doc->getString("schema", "") != journal::kFlightSchema) {
+        why = "dump schema is not " +
+              std::string(journal::kFlightSchema);
+        return false;
+    }
+    if (doc->getString("reason", "").empty()) {
+        why = "dump carries no reason";
+        return false;
+    }
+    const bjson::Value *events = doc->get("events");
+    if (!events || !events->isArray() || events->items.empty()) {
+        why = "dump has no events";
+        return false;
+    }
+    for (size_t i = 0; i < events->items.size(); ++i) {
+        const bjson::Value &event = *events->items[i];
+        if (!event.isObject() || event.getString("kind", "").empty() ||
+            event.getNumber("seq", 0) < 1 ||
+            event.getNumber("thread", 0) < 1 || !event.get("t_ms")) {
+            why = "events[" + std::to_string(i) +
+                  "] is missing its envelope";
+            return false;
+        }
+    }
+    return true;
+}
+
 /** One process-local chaos run; returns the number of violations. */
 int
 runSite(const std::string &site, const std::string &clause,
@@ -175,6 +226,17 @@ runSite(const std::string &site, const std::string &clause,
             return 1;
         }
     }
+
+    // Flight-recorder gate: every fault site that trips a window
+    // barrier must leave a schema-valid flight dump. Flight-only mode
+    // (no journal path set) keeps the ring armed without writing a
+    // journal file for each sweep child.
+    journal::setFlightDir("/tmp");
+    if (!journal::enabled())
+        journal::setEnabled(true);
+    const std::string flight_path =
+        "/tmp/hydride-flight-" + std::to_string(::getpid()) + ".json";
+    std::remove(flight_path.c_str());
 
     int violations = 0;
     const AutoLLVMDict dict = AutoLLVMDict::build({"x86"});
@@ -190,12 +252,14 @@ runSite(const std::string &site, const std::string &clause,
     ResilientCompiler compiler(dict, "x86", 256, options, &cache);
 
     std::map<std::string, int> rung_counts;
+    bool barrier_tripped = false;
     for (const auto &name : kProbeKernels) {
         Schedule schedule;
         Kernel kernel = buildKernel(name, schedule);
         ResilientCompilation compiled = compiler.compile(kernel);
         for (const auto &window : compiled.windows) {
             ++rung_counts[rungName(window.rung)];
+            barrier_tripped = barrier_tripped || window.recovered;
             if (!window.ok) {
                 // A Failed rung always carries diagnostics (that is
                 // the structured half of the invariant), but with the
@@ -234,6 +298,20 @@ runSite(const std::string &site, const std::string &clause,
         reloaded.load(cache_path, dict);
         std::remove(cache_path.c_str());
     }
+
+    if (barrier_tripped) {
+        std::string why;
+        if (!flightDumpValid(flight_path, why)) {
+            std::fprintf(stderr,
+                         "chaos: VIOLATION site `%s` tripped a window "
+                         "barrier but left no schema-valid flight dump: "
+                         "%s\n",
+                         site.empty() ? "none" : site.c_str(),
+                         why.c_str());
+            ++violations;
+        }
+    }
+    std::remove(flight_path.c_str());
 
     if (!site.empty() && site != "none") {
         if (faults::hitCount(site) == 0) {

@@ -24,6 +24,12 @@
 #                            the merged artifact with
 #                            tools/check_bench.py, and gate it against
 #                            itself (docs/benchmarking.md).
+#   ./run_all.sh --lint      run the curated clang-tidy check set
+#                            (.clang-tidy, warnings-as-errors) over
+#                            src/ and tools/. When clang-tidy is not
+#                            installed, falls back to a strict
+#                            warnings-as-errors syntax-only sweep with
+#                            the host compiler (docs/static_analysis.md).
 #   ./run_all.sh --journal   compile a real pipeline with
 #                            HYDRIDE_JOURNAL set, validate the
 #                            provenance stream with
@@ -69,6 +75,37 @@ if [ "$1" = "--sanitize" ]; then
 fi
 if [ "$1" = "--chaos" ]; then
     run_chaos
+    exit 0
+fi
+if [ "$1" = "--lint" ]; then
+    echo "===== lint (src/ + tools/) ====="
+    if command -v clang-tidy > /dev/null 2>&1; then
+        # Full static analysis when the tool is available: the curated
+        # check set lives in .clang-tidy (warnings-as-errors, so any
+        # finding fails the tier).
+        cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+            > /dev/null || exit 1
+        find src tools -name '*.cpp' -print0 | \
+            xargs -0 clang-tidy -p build --quiet || exit 1
+        echo "run_all: clang-tidy lint passed"
+    else
+        # Fallback for containers without clang-tidy: a strict
+        # warnings-as-errors syntax-only sweep. -Wpedantic is
+        # deliberately absent (BitVector's word arithmetic uses
+        # __int128 on purpose); -Wmissing-declarations is dropped for
+        # tools/ where each main() defines file-local helpers.
+        echo "run_all: clang-tidy not found; strict-warnings fallback"
+        find src -name '*.cpp' -print0 | xargs -0 -P "$(nproc)" -n 4 \
+            g++ -std=c++20 -fsyntax-only -I src \
+            -Wall -Wextra -Wshadow -Wnon-virtual-dtor \
+            -Woverloaded-virtual -Wcast-qual -Wmissing-declarations \
+            -Werror || exit 1
+        find tools -name '*.cpp' -print0 | xargs -0 -P "$(nproc)" -n 4 \
+            g++ -std=c++20 -fsyntax-only -I src \
+            -Wall -Wextra -Wshadow -Wnon-virtual-dtor \
+            -Woverloaded-virtual -Wcast-qual -Werror || exit 1
+        echo "run_all: strict-warnings lint passed"
+    fi
     exit 0
 fi
 if [ "$1" = "--journal" ]; then

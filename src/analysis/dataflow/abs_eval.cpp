@@ -1,0 +1,188 @@
+#include "analysis/dataflow/abs_eval.h"
+
+namespace hydride {
+namespace dataflow {
+
+namespace {
+
+using MaybeAbs = std::optional<AbsValue>;
+
+class AbsWalker
+{
+  public:
+    AbsWalker(const AbsEnv &env, const AbsVisitors &vis)
+        : env_(env), vis_(vis)
+    {
+    }
+
+    MaybeAbs eval(const ExprPtr &expr)
+    {
+        if (!expr)
+            return std::nullopt;
+        std::vector<MaybeAbs> operands;
+        MaybeAbs result = evalNode(expr, operands);
+        if (vis_.bv)
+            vis_.bv(expr, result, operands);
+        return result;
+    }
+
+  private:
+    IntRange rangeOf(const ExprPtr &e)
+    {
+        const IntRange r = evalIntRange(e, env_.ints);
+        if (vis_.ints)
+            vis_.ints(e, r);
+        return r;
+    }
+
+    /** Int position that must be a single compile-time value. */
+    std::optional<int64_t> fixedInt(const ExprPtr &e)
+    {
+        const IntRange r = rangeOf(e);
+        if (!r.isSingleton())
+            return std::nullopt;
+        return r.lo;
+    }
+
+    MaybeAbs evalNode(const ExprPtr &expr, std::vector<MaybeAbs> &operands)
+    {
+        switch (expr->kind) {
+          case ExprKind::ArgBV: {
+            if (!env_.args || expr->value < 0 ||
+                expr->value >= static_cast<int64_t>(env_.args->size()))
+                return std::nullopt;
+            return (*env_.args)[expr->value];
+          }
+          case ExprKind::BVConst: {
+            const std::optional<int64_t> w = fixedInt(expr->kids[0]);
+            if (!w || *w < 1 || *w > BitVector::kMaxWidth)
+                return std::nullopt;
+            const int width = static_cast<int>(*w);
+            const IntRange v = rangeOf(expr->kids[1]);
+            if (v.isSingleton())
+                return dom_.constant(BitVector::fromInt(width, v.lo));
+            if (v.known && v.lo >= 0 &&
+                (width >= 63 || v.hi < (int64_t{1} << width))) {
+                AbsValue out{Interval(BitVector::fromInt(width, v.lo),
+                                      BitVector::fromInt(width, v.hi)),
+                             sym::KnownBits::top(width)};
+                ProductDomain::reduce(out);
+                return out;
+            }
+            return dom_.top(width);
+          }
+          case ExprKind::BVBin: {
+            operands.push_back(eval(expr->kids[0]));
+            operands.push_back(eval(expr->kids[1]));
+            if (!operands[0] || !operands[1] ||
+                operands[0]->width() != operands[1]->width())
+                return std::nullopt;
+            return dom_.binOp(static_cast<BVBinOp>(expr->value),
+                              *operands[0], *operands[1]);
+          }
+          case ExprKind::BVUn: {
+            operands.push_back(eval(expr->kids[0]));
+            if (!operands[0])
+                return std::nullopt;
+            return dom_.unOp(static_cast<BVUnOp>(expr->value), *operands[0]);
+          }
+          case ExprKind::BVCast: {
+            operands.push_back(eval(expr->kids[0]));
+            const std::optional<int64_t> w = fixedInt(expr->kids[1]);
+            if (!operands[0] || !w || *w < 1 || *w > BitVector::kMaxWidth)
+                return std::nullopt;
+            const int width = static_cast<int>(*w);
+            const int from = operands[0]->width();
+            const auto op = static_cast<BVCastOp>(expr->value);
+            const bool widening =
+                op == BVCastOp::SExt || op == BVCastOp::ZExt;
+            if (widening ? width < from : width > from)
+                return std::nullopt; // malformed: WF05's business
+            return dom_.cast(op, *operands[0], width);
+          }
+          case ExprKind::Extract: {
+            operands.push_back(eval(expr->kids[0]));
+            const std::optional<int64_t> low = fixedInt(expr->kids[1]);
+            const std::optional<int64_t> count = fixedInt(expr->kids[2]);
+            if (!operands[0] || !count || *count < 1)
+                return std::nullopt;
+            if (!low) {
+                // Lane-varying slice of an analyzable operand: the
+                // result width is still fixed.
+                if (*count > BitVector::kMaxWidth)
+                    return std::nullopt;
+                return dom_.top(static_cast<int>(*count));
+            }
+            if (*low < 0 || *low + *count > operands[0]->width())
+                return std::nullopt;
+            return dom_.extract(*operands[0], static_cast<int>(*low),
+                                static_cast<int>(*count));
+          }
+          case ExprKind::Concat: {
+            operands.push_back(eval(expr->kids[0]));
+            operands.push_back(eval(expr->kids[1]));
+            if (!operands[0] || !operands[1] ||
+                operands[0]->width() + operands[1]->width() >
+                    BitVector::kMaxWidth)
+                return std::nullopt;
+            return dom_.concat(*operands[0], *operands[1]);
+          }
+          case ExprKind::BVCmp: {
+            operands.push_back(eval(expr->kids[0]));
+            operands.push_back(eval(expr->kids[1]));
+            if (!operands[0] || !operands[1] ||
+                operands[0]->width() != operands[1]->width())
+                return std::nullopt;
+            return dom_.cmp(static_cast<BVCmpOp>(expr->value), *operands[0],
+                            *operands[1]);
+          }
+          case ExprKind::Select: {
+            operands.push_back(eval(expr->kids[0]));
+            if (operands[0]) {
+                const int taken = dom_.knownBool(*operands[0]);
+                if (taken >= 0) {
+                    // Dead branch stays unevaluated (mirrors the
+                    // concrete evaluator's laziness); mark it nullopt.
+                    MaybeAbs t, e;
+                    if (taken) {
+                        t = eval(expr->kids[1]);
+                        operands.push_back(t);
+                        operands.push_back(std::nullopt);
+                        return t;
+                    }
+                    e = eval(expr->kids[2]);
+                    operands.push_back(std::nullopt);
+                    operands.push_back(e);
+                    return e;
+                }
+            }
+            operands.push_back(eval(expr->kids[1]));
+            operands.push_back(eval(expr->kids[2]));
+            if (!operands[0] || !operands[1] || !operands[2] ||
+                operands[1]->width() != operands[2]->width())
+                return std::nullopt;
+            return dom_.select(*operands[0], *operands[1], *operands[2]);
+          }
+          case ExprKind::Hole:
+            return std::nullopt;
+          default:
+            return std::nullopt; // Int-typed node in a BV position
+        }
+    }
+
+    const AbsEnv &env_;
+    const AbsVisitors &vis_;
+    ProductDomain dom_;
+};
+
+} // namespace
+
+std::optional<AbsValue>
+absEval(const ExprPtr &expr, const AbsEnv &env, const AbsVisitors &vis)
+{
+    AbsWalker walker(env, vis);
+    return walker.eval(expr);
+}
+
+} // namespace dataflow
+} // namespace hydride

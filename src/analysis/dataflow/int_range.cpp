@@ -1,0 +1,183 @@
+#include "analysis/dataflow/int_range.h"
+
+#include <algorithm>
+
+namespace hydride {
+namespace dataflow {
+
+namespace {
+
+using int128 = __int128;
+
+constexpr int64_t kI64Min = INT64_MIN;
+constexpr int64_t kI64Max = INT64_MAX;
+
+bool
+fitsI64(int128 v)
+{
+    return v >= static_cast<int128>(kI64Min) && v <= static_cast<int128>(kI64Max);
+}
+
+/** Merge operand flags into a result. */
+void
+mergeFlags(IntRange &out, const IntRange &a, const IntRange &b)
+{
+    out.may_divzero = a.may_divzero || b.may_divzero;
+    out.must_divzero = a.must_divzero || b.must_divzero;
+    out.divzero_at = a.divzero_at ? a.divzero_at : b.divzero_at;
+    out.may_overflow = a.may_overflow || b.may_overflow;
+    out.overflow_at = a.overflow_at ? a.overflow_at : b.overflow_at;
+}
+
+/** Set bounds from 128-bit candidates, flagging int64 escape. */
+void
+setBounds(IntRange &out, int128 lo, int128 hi, const Expr *node)
+{
+    if (fitsI64(lo) && fitsI64(hi)) {
+        out.known = true;
+        out.lo = static_cast<int64_t>(lo);
+        out.hi = static_cast<int64_t>(hi);
+    } else {
+        out.known = false;
+        out.may_overflow = true;
+        if (!out.overflow_at)
+            out.overflow_at = node;
+    }
+}
+
+IntRange
+rangeBin(IntBinOp op, const IntRange &a, const IntRange &b, const Expr *node)
+{
+    IntRange out;
+    mergeFlags(out, a, b);
+    const bool bounds_ok = a.known && b.known;
+    switch (op) {
+      case IntBinOp::Add:
+        if (bounds_ok)
+            setBounds(out, static_cast<int128>(a.lo) + b.lo,
+                      static_cast<int128>(a.hi) + b.hi, node);
+        return out;
+      case IntBinOp::Sub:
+        if (bounds_ok)
+            setBounds(out, static_cast<int128>(a.lo) - b.hi,
+                      static_cast<int128>(a.hi) - b.lo, node);
+        return out;
+      case IntBinOp::Mul:
+        if (bounds_ok) {
+            const int128 c[4] = {static_cast<int128>(a.lo) * b.lo,
+                                 static_cast<int128>(a.lo) * b.hi,
+                                 static_cast<int128>(a.hi) * b.lo,
+                                 static_cast<int128>(a.hi) * b.hi};
+            setBounds(out, std::min({c[0], c[1], c[2], c[3]}),
+                      std::max({c[0], c[1], c[2], c[3]}), node);
+        }
+        return out;
+      case IntBinOp::Div:
+      case IntBinOp::Mod: {
+        // Division-by-zero facts need only the denominator range.
+        if (b.known && b.lo == 0 && b.hi == 0) {
+            out.must_divzero = out.may_divzero = true;
+            if (!out.divzero_at)
+                out.divzero_at = node;
+            return out;
+        }
+        if (!b.known) {
+            // Unknown denominator: no divzero claim either way, and
+            // no bounds.
+            return out;
+        }
+        if (b.lo <= 0 && 0 <= b.hi) {
+            out.may_divzero = true;
+            if (!out.divzero_at)
+                out.divzero_at = node;
+            return out; // bounds unknown: the zero lane traps
+        }
+        if (!a.known)
+            return out;
+        if (op == IntBinOp::Div) {
+            // Denominator is sign-pure (no zero crossing), so the
+            // quotient extremes are at the corners.
+            const int128 c[4] = {static_cast<int128>(a.lo) / b.lo,
+                                 static_cast<int128>(a.lo) / b.hi,
+                                 static_cast<int128>(a.hi) / b.lo,
+                                 static_cast<int128>(a.hi) / b.hi};
+            setBounds(out, std::min({c[0], c[1], c[2], c[3]}),
+                      std::max({c[0], c[1], c[2], c[3]}), node);
+            // INT64_MIN / -1 escapes int64; setBounds flagged it.
+        } else {
+            // |a mod b| < |b|, sign follows the C remainder rules;
+            // bound by the largest |b| in both directions, tightened
+            // by the dividend's own sign when it is pure.
+            const int128 mag =
+                std::max(static_cast<int128>(b.lo) < 0
+                             ? -static_cast<int128>(b.lo)
+                             : static_cast<int128>(b.lo),
+                         static_cast<int128>(b.hi) < 0
+                             ? -static_cast<int128>(b.hi)
+                             : static_cast<int128>(b.hi)) -
+                1;
+            int128 lo = -mag, hi = mag;
+            if (a.lo >= 0)
+                lo = 0;
+            if (a.hi <= 0)
+                hi = 0;
+            setBounds(out, lo, hi, node);
+        }
+        return out;
+      }
+      case IntBinOp::Min:
+        if (bounds_ok)
+            setBounds(out, std::min(a.lo, b.lo), std::min(a.hi, b.hi), node);
+        return out;
+      case IntBinOp::Max:
+        if (bounds_ok)
+            setBounds(out, std::max(a.lo, b.lo), std::max(a.hi, b.hi), node);
+        return out;
+    }
+    return out;
+}
+
+} // namespace
+
+IntRange
+evalIntRange(const ExprPtr &expr, const RangeEnv &env)
+{
+    if (!expr)
+        return IntRange::unknown();
+    switch (expr->kind) {
+      case ExprKind::IntConst:
+        return IntRange::constant(expr->value);
+      case ExprKind::Param: {
+        if (!env.param_values ||
+            expr->value >= static_cast<int64_t>(env.param_values->size()) ||
+            expr->value < 0)
+            return IntRange::unknown();
+        return IntRange::constant((*env.param_values)[expr->value]);
+      }
+      case ExprKind::LoopVar: {
+        IntRange r;
+        r.known = true;
+        if (expr->value == 0) {
+            r.lo = env.i_lo;
+            r.hi = env.i_hi;
+        } else {
+            r.lo = env.j_lo;
+            r.hi = env.j_hi;
+        }
+        return r;
+      }
+      case ExprKind::NamedVar:
+        return IntRange::unknown(); // immediate: no static bound
+      case ExprKind::IntBin: {
+        const IntRange a = evalIntRange(expr->kids[0], env);
+        const IntRange b = evalIntRange(expr->kids[1], env);
+        return rangeBin(static_cast<IntBinOp>(expr->value), a, b,
+                        expr.get());
+      }
+      default:
+        return IntRange::unknown(); // BV-typed node: not an Int expr
+    }
+}
+
+} // namespace dataflow
+} // namespace hydride

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Range analysis for Int-typed hir::Expr trees.
+ *
+ * The verifier's UB02/UB03 rules need to know, for a whole lane
+ * range at once, whether an index expression can divide by zero or
+ * overflow signed 64-bit arithmetic.  evalIntRange computes a
+ * conservative [lo, hi] bound of an Int expression over an
+ * environment where the loop variables range over intervals and the
+ * parameters are concrete; arithmetic is performed in 128 bits so
+ * overflow of the 64-bit evaluator is *detected*, not suffered.
+ *
+ * A result with `known == false` gives no bounds (an immediate /
+ * named variable is involved, or a bound escaped int64); the
+ * may_/must_ flags remain valid either way.
+ */
+#ifndef HYDRIDE_ANALYSIS_DATAFLOW_INT_RANGE_H
+#define HYDRIDE_ANALYSIS_DATAFLOW_INT_RANGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hir/expr.h"
+
+namespace hydride {
+namespace dataflow {
+
+/** Environment for evalIntRange: concrete params, ranged loop vars. */
+struct RangeEnv
+{
+    const std::vector<int64_t> *param_values = nullptr;
+    int64_t i_lo = 0, i_hi = 0; ///< Inclusive range of loop var i.
+    int64_t j_lo = 0, j_hi = 0; ///< Inclusive range of loop var j.
+};
+
+/** Conservative range of one Int expression. */
+struct IntRange
+{
+    bool known = false; ///< lo/hi are valid bounds.
+    int64_t lo = 0;
+    int64_t hi = 0;
+
+    /** Some evaluation in the range may divide by zero. */
+    bool may_divzero = false;
+    /** Every evaluation divides by zero (denominator is exactly 0). */
+    bool must_divzero = false;
+    const Expr *divzero_at = nullptr;
+
+    /** Some evaluation may overflow signed 64-bit arithmetic. */
+    bool may_overflow = false;
+    const Expr *overflow_at = nullptr;
+
+    bool clean() const { return !may_divzero && !may_overflow; }
+    bool isSingleton() const { return known && lo == hi; }
+
+    static IntRange constant(int64_t v)
+    {
+        IntRange r;
+        r.known = true;
+        r.lo = r.hi = v;
+        return r;
+    }
+    static IntRange unknown()
+    {
+        return IntRange{};
+    }
+};
+
+/** Bound `expr` over `env`; total — never throws. */
+IntRange evalIntRange(const ExprPtr &expr, const RangeEnv &env);
+
+} // namespace dataflow
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_DATAFLOW_INT_RANGE_H

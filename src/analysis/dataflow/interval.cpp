@@ -1,0 +1,400 @@
+#include "analysis/dataflow/interval.h"
+
+#include <algorithm>
+
+namespace hydride {
+namespace dataflow {
+
+namespace {
+
+/** All bits at and above `from` are zero. */
+bool
+zeroAbove(const BitVector &v, int from)
+{
+    if (from >= v.width())
+        return true;
+    if (from <= 0)
+        return v.isZero();
+    return v.lshr(from).isZero();
+}
+
+/** Smallest mask 2^k - 1 covering v (all bits up to v's msb set). */
+BitVector
+smear(const BitVector &v)
+{
+    const int w = v.width();
+    int msb = -1;
+    for (int i = w - 1; i >= 0; --i)
+        if (v.getBit(i)) {
+            msb = i;
+            break;
+        }
+    if (msb < 0)
+        return BitVector(w);
+    return BitVector::allOnes(msb + 1).zext(w);
+}
+
+/** Clamp an unsigned bound to [0, limit] as a shift amount. */
+int
+clampShift(const BitVector &v, int limit)
+{
+    if (!zeroAbove(v, 31))
+        return limit;
+    const int64_t n = static_cast<int64_t>(v.toUint64());
+    return n > limit ? limit : static_cast<int>(n);
+}
+
+} // namespace
+
+Interval
+Interval::fromSigned(const BitVector &smin, const BitVector &smax)
+{
+    const int w = smin.width();
+    if (smin.signBit() && !smax.signBit())
+        return Interval::top(w); // crosses zero: wraps in unsigned order
+    return Interval(smin, smax);
+}
+
+void
+IntervalDomain::setSlice(Value &acc, int low, const Value &v) const
+{
+    const int aw = acc.width();
+    if (acc.isSingleton() && v.isSingleton()) {
+        BitVector l = acc.lo;
+        l.setSlice(low, v.lo);
+        acc = Interval::constant(l);
+        return;
+    }
+    // Increasing-offset writes (the evalSemanticsDom pattern) leave
+    // the target bits zero: acc < 2^low makes the write a carry-free
+    // add, which is monotone in both bounds.
+    if (zeroAbove(acc.hi, low) && low + v.width() <= aw) {
+        acc = Interval(acc.lo.add(v.lo.zext(aw).shl(low)),
+                       acc.hi.add(v.hi.zext(aw).shl(low)));
+        return;
+    }
+    acc = Interval::top(aw);
+}
+
+IntervalDomain::Value
+IntervalDomain::binOp(BVBinOp op, const Value &a, const Value &b) const
+{
+    const int w = a.width();
+    if (a.isSingleton() && b.isSingleton())
+        return Interval::constant(applyBVBinOp(op, a.lo, b.lo));
+    switch (op) {
+      case BVBinOp::Add: {
+        const BitVector slo = a.lo.add(b.lo);
+        const BitVector shi = a.hi.add(b.hi);
+        const bool ovf_lo = slo.ult(a.lo); // carry out of the low corner
+        const bool ovf_hi = shi.ult(a.hi);
+        // No corner wraps (no sum wraps) or both wrap (every sum
+        // wraps): the lattice image is still one interval.
+        if (ovf_lo == ovf_hi)
+            return Interval(slo, shi);
+        return Interval::top(w);
+      }
+      case BVBinOp::Sub: {
+        if (b.hi.ule(a.lo)) // no borrow anywhere
+            return Interval(a.lo.sub(b.hi), a.hi.sub(b.lo));
+        if (a.hi.ult(b.lo)) // borrow everywhere: uniform wrap
+            return Interval(a.lo.sub(b.hi), a.hi.sub(b.lo));
+        return Interval::top(w);
+      }
+      case BVBinOp::Mul: {
+        if (a.hi.isZero() || b.hi.isZero())
+            return Interval::constant(BitVector(w));
+        if (2 * w <= BitVector::kMaxWidth) {
+            const BitVector m = a.hi.zext(2 * w).mul(b.hi.zext(2 * w));
+            if (zeroAbove(m, w)) // max product fits: monotone, exact
+                return Interval(a.lo.mul(b.lo), a.hi.mul(b.hi));
+        }
+        return Interval::top(w);
+      }
+      case BVBinOp::UDiv: {
+        if (b.hi.isZero()) // division by zero yields all-ones
+            return Interval::constant(BitVector::allOnes(w));
+        if (b.lo.isZero())
+            return Interval(a.lo.udiv(b.hi), BitVector::allOnes(w));
+        return Interval(a.lo.udiv(b.hi), a.hi.udiv(b.lo));
+      }
+      case BVBinOp::URem: {
+        // r = a urem b satisfies r <= a (also when b == 0, where
+        // r == a); with b provably nonzero additionally r < b.
+        BitVector hi = a.hi;
+        if (!b.lo.isZero())
+            hi = hi.minU(b.hi.sub(BitVector::fromUint(w, 1)));
+        return Interval(BitVector(w), hi);
+      }
+      case BVBinOp::And:
+        return Interval(BitVector(w), a.hi.minU(b.hi));
+      case BVBinOp::Or:
+        return Interval(a.lo.maxU(b.lo), smear(a.hi.bvor(b.hi)));
+      case BVBinOp::Xor:
+        return Interval(BitVector(w), smear(a.hi.bvor(b.hi)));
+      case BVBinOp::Shl: {
+        if (a.hi.isZero())
+            return Interval::constant(BitVector(w));
+        if (b.isSingleton())
+            return shiftConst(op, a, clampShift(b.lo, w));
+        return Interval::top(w);
+      }
+      case BVBinOp::LShr: {
+        const int smin = clampShift(b.lo, w);
+        const int smax = clampShift(b.hi, w);
+        return Interval(a.lo.lshr(smax), a.hi.lshr(smin));
+      }
+      case BVBinOp::AShr: {
+        const int smin = clampShift(b.lo, w);
+        const int smax = clampShift(b.hi, w);
+        if (a.allNonNegative()) // behaves as lshr
+            return Interval(a.lo.lshr(smax), a.hi.lshr(smin));
+        if (a.allNegative()) // monotone toward -1 as the shift grows
+            return Interval(a.lo.ashr(smin), a.hi.ashr(smax));
+        return Interval::top(w);
+      }
+      case BVBinOp::MinU:
+        return Interval(a.lo.minU(b.lo), a.hi.minU(b.hi));
+      case BVBinOp::MaxU:
+        return Interval(a.lo.maxU(b.lo), a.hi.maxU(b.hi));
+      case BVBinOp::MinS:
+        if (a.crossesSigned() || b.crossesSigned())
+            return Interval::top(w);
+        return Interval::fromSigned(a.smin().minS(b.smin()),
+                                    a.smax().minS(b.smax()));
+      case BVBinOp::MaxS:
+        if (a.crossesSigned() || b.crossesSigned())
+            return Interval::top(w);
+        return Interval::fromSigned(a.smin().maxS(b.smin()),
+                                    a.smax().maxS(b.smax()));
+      case BVBinOp::AddSatU: // monotone in both operands
+        return Interval(a.lo.addSatU(b.lo), a.hi.addSatU(b.hi));
+      case BVBinOp::SubSatU:
+        return Interval(a.lo.subSatU(b.hi), a.hi.subSatU(b.lo));
+      case BVBinOp::AddSatS:
+        if (a.crossesSigned() || b.crossesSigned())
+            return Interval::top(w);
+        return Interval::fromSigned(a.smin().addSatS(b.smin()),
+                                    a.smax().addSatS(b.smax()));
+      case BVBinOp::SubSatS:
+        if (a.crossesSigned() || b.crossesSigned())
+            return Interval::top(w);
+        return Interval::fromSigned(a.smin().subSatS(b.smax()),
+                                    a.smax().subSatS(b.smin()));
+      case BVBinOp::AvgU: // monotone in both operands, no overflow
+        return Interval(a.lo.avgU(b.lo), a.hi.avgU(b.hi));
+      case BVBinOp::AvgS:
+        if (a.crossesSigned() || b.crossesSigned())
+            return Interval::top(w);
+        return Interval::fromSigned(a.smin().avgS(b.smin()),
+                                    a.smax().avgS(b.smax()));
+    }
+    return Interval::top(w);
+}
+
+IntervalDomain::Value
+IntervalDomain::unOp(BVUnOp op, const Value &a) const
+{
+    const int w = a.width();
+    switch (op) {
+      case BVUnOp::Not: // anti-monotone, exact
+        return Interval(a.hi.bvnot(), a.lo.bvnot());
+      case BVUnOp::Neg: {
+        if (a.isSingleton())
+            return Interval::constant(a.lo.neg());
+        // -x is anti-monotone and wrap-free on [lo, hi] when the
+        // range excludes zero (negation of 0 wraps the order).
+        if (!a.lo.isZero())
+            return Interval(a.hi.neg(), a.lo.neg());
+        return Interval::top(w);
+      }
+      case BVUnOp::AbsS: {
+        if (a.isSingleton())
+            return Interval::constant(a.lo.absS());
+        if (a.allNonNegative())
+            return a; // identity
+        if (a.allNegative() && !zeroAbove(a.lo.bvnot(), w - 1)) {
+            // All negative, INT_MIN excluded: |x| = -x, anti-monotone.
+            return Interval(a.hi.neg(), a.lo.neg());
+        }
+        return Interval::top(w);
+      }
+      case BVUnOp::Popcount: {
+        // Any v <=u hi has no bits above hi's msb.
+        const BitVector mask = smear(a.hi);
+        int msb = 0;
+        for (int i = 0; i < w; ++i)
+            if (mask.getBit(i))
+                msb = i + 1;
+        return Interval(BitVector(w), BitVector::fromUint(w, msb));
+      }
+    }
+    return Interval::top(w);
+}
+
+IntervalDomain::Value
+IntervalDomain::cast(BVCastOp op, const Value &a, int width) const
+{
+    switch (op) {
+      case BVCastOp::ZExt:
+        return Interval(a.lo.zext(width), a.hi.zext(width));
+      case BVCastOp::SExt:
+        if (a.crossesSigned())
+            return Interval::top(width);
+        return Interval::fromSigned(a.smin().sext(width),
+                                    a.smax().sext(width));
+      case BVCastOp::Trunc:
+        if (a.isSingleton())
+            return Interval::constant(a.lo.trunc(width));
+        if (zeroAbove(a.hi, width)) // all values fit: exact
+            return Interval(a.lo.trunc(width), a.hi.trunc(width));
+        return Interval::top(width);
+      case BVCastOp::SatNarrowS:
+        if (a.crossesSigned())
+            return Interval::top(width);
+        // Clamp-then-truncate is monotone in the signed input, and
+        // both results land in the signed range of `width`.
+        return Interval::fromSigned(a.smin().satNarrowS(width),
+                                    a.smax().satNarrowS(width));
+      case BVCastOp::SatNarrowU:
+        if (a.crossesSigned())
+            return Interval::top(width);
+        // Monotone in the signed input; outputs are unsigned values
+        // 0..2^width-1, so the result order is plain unsigned.
+        return Interval(a.smin().satNarrowU(width),
+                        a.smax().satNarrowU(width));
+    }
+    return Interval::top(width);
+}
+
+IntervalDomain::Value
+IntervalDomain::extract(const Value &a, int low, int count) const
+{
+    if (a.isSingleton())
+        return Interval::constant(a.lo.extract(low, count));
+    // When no value has bits at or above low+count, extract(low, n)
+    // equals (x >> low) truncated, which is monotone.
+    if (zeroAbove(a.hi, low + count))
+        return Interval(a.lo.extract(low, count), a.hi.extract(low, count));
+    return Interval::top(count);
+}
+
+IntervalDomain::Value
+IntervalDomain::concat(const Value &high, const Value &low) const
+{
+    const int w = high.width() + low.width();
+    const int wl = low.width();
+    // concat(h, l) = h * 2^wl + l with l < 2^wl: monotone in both.
+    return Interval(high.lo.zext(w).shl(wl).add(low.lo.zext(w)),
+                    high.hi.zext(w).shl(wl).add(low.hi.zext(w)));
+}
+
+IntervalDomain::Value
+IntervalDomain::cmp(BVCmpOp op, const Value &a, const Value &b) const
+{
+    const BitVector t = BitVector::fromUint(1, 1);
+    const BitVector f = BitVector(1);
+    auto decided = [&](int verdict) {
+        if (verdict > 0)
+            return Interval::constant(t);
+        if (verdict == 0)
+            return Interval::constant(f);
+        return Interval(f, t);
+    };
+    switch (op) {
+      case BVCmpOp::Eq:
+        if (a.isSingleton() && b.isSingleton())
+            return decided(a.lo == b.lo);
+        if (a.hi.ult(b.lo) || b.hi.ult(a.lo)) // disjoint ranges
+            return decided(0);
+        return decided(-1);
+      case BVCmpOp::Ne:
+        if (a.isSingleton() && b.isSingleton())
+            return decided(!(a.lo == b.lo));
+        if (a.hi.ult(b.lo) || b.hi.ult(a.lo))
+            return decided(1);
+        return decided(-1);
+      case BVCmpOp::Ult:
+        if (a.hi.ult(b.lo))
+            return decided(1);
+        if (b.hi.ule(a.lo))
+            return decided(0);
+        return decided(-1);
+      case BVCmpOp::Ule:
+        if (a.hi.ule(b.lo))
+            return decided(1);
+        if (b.hi.ult(a.lo))
+            return decided(0);
+        return decided(-1);
+      case BVCmpOp::Slt:
+        if (a.crossesSigned() || b.crossesSigned())
+            return decided(-1);
+        if (a.smax().slt(b.smin()))
+            return decided(1);
+        if (b.smax().sle(a.smin()))
+            return decided(0);
+        return decided(-1);
+      case BVCmpOp::Sle:
+        if (a.crossesSigned() || b.crossesSigned())
+            return decided(-1);
+        if (a.smax().sle(b.smin()))
+            return decided(1);
+        if (b.smax().slt(a.smin()))
+            return decided(0);
+        return decided(-1);
+    }
+    return Interval(f, t);
+}
+
+IntervalDomain::Value
+IntervalDomain::select(const Value &cond, const Value &t, const Value &e) const
+{
+    const int taken = knownBool(cond);
+    if (taken > 0)
+        return t;
+    if (taken == 0)
+        return e;
+    return Interval::join(t, e);
+}
+
+IntervalDomain::Value
+IntervalDomain::shiftConst(BVBinOp op, const Value &a, int amount) const
+{
+    const int w = a.width();
+    const int s = amount >= w ? w : (amount < 0 ? w : amount);
+    switch (op) {
+      case BVBinOp::Shl:
+        if (s >= w)
+            return Interval::constant(BitVector(w));
+        if (zeroAbove(a.hi, w - s)) // no bit shifts out: monotone
+            return Interval(a.lo.shl(s), a.hi.shl(s));
+        if (a.isSingleton())
+            return Interval::constant(a.lo.shl(s));
+        return Interval::top(w);
+      case BVBinOp::LShr:
+        return Interval(a.lo.lshr(s), a.hi.lshr(s));
+      case BVBinOp::AShr:
+        if (a.allNonNegative())
+            return Interval(a.lo.lshr(s), a.hi.lshr(s));
+        if (a.allNegative())
+            return Interval(a.lo.ashr(s), a.hi.ashr(s));
+        if (a.isSingleton())
+            return Interval::constant(a.lo.ashr(s));
+        return Interval::top(w);
+      default:
+        return Interval::top(w);
+    }
+}
+
+int
+IntervalDomain::knownBool(const Value &v) const
+{
+    if (v.hi.isZero())
+        return 0;
+    if (!v.lo.isZero())
+        return 1;
+    return -1;
+}
+
+} // namespace dataflow
+} // namespace hydride

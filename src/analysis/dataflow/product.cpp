@@ -1,0 +1,160 @@
+#include "analysis/dataflow/product.h"
+
+#include "analysis/dataflow/domain.h"
+
+namespace hydride {
+namespace dataflow {
+
+static_assert(AbstractDomain<IntervalDomain>);
+static_assert(AbstractDomain<ProductDomain>);
+
+void
+ProductDomain::reduce(Value &v)
+{
+    const int w = v.width();
+    // Singleton range: every bit is known.
+    if (v.iv.isSingleton()) {
+        v.kb = sym::KnownBits::constant(v.iv.lo);
+        return;
+    }
+    // Fully known bits: the range is a point.
+    if (v.kb.fullyKnown()) {
+        v.iv = Interval::constant(v.kb.concreteValue());
+        return;
+    }
+    // Known-bits bounds tighten the range (only when the clamp keeps
+    // the interval non-empty; an empty clamp means the value set is
+    // unreachable, and either component alone stays sound).
+    {
+        const BitVector l = v.iv.lo.maxU(v.kb.uminVal());
+        const BitVector h = v.iv.hi.minU(v.kb.umaxVal());
+        if (l.ule(h))
+            v.iv = Interval(l, h);
+    }
+    // Range below 2^k: bits k and above are known zero.
+    for (int i = w - 1; i >= 0; --i) {
+        if (v.iv.hi.getBit(i))
+            break;
+        v.kb.known.setBit(i, true);
+        v.kb.value.setBit(i, false);
+    }
+    // Range entirely in the negative region: the sign bit is one.
+    if (v.iv.lo.signBit()) {
+        v.kb.known.setBit(w - 1, true);
+        v.kb.value.setBit(w - 1, true);
+    }
+    if (v.kb.fullyKnown())
+        v.iv = Interval::constant(v.kb.concreteValue());
+}
+
+ProductDomain::Value
+ProductDomain::constant(const BitVector &v) const
+{
+    return Value{Interval::constant(v), sym::KnownBits::constant(v)};
+}
+
+ProductDomain::Value
+ProductDomain::makeZero(int width) const
+{
+    return constant(BitVector(width));
+}
+
+void
+ProductDomain::setSlice(Value &acc, int low, const Value &v) const
+{
+    iv_.setSlice(acc.iv, low, v.iv);
+    kb_.setSlice(acc.kb, low, v.kb);
+    reduce(acc);
+}
+
+ProductDomain::Value
+ProductDomain::binOp(BVBinOp op, const Value &a, const Value &b) const
+{
+    Value r{iv_.binOp(op, a.iv, b.iv), kb_.binOp(op, a.kb, b.kb)};
+    reduce(r);
+    return r;
+}
+
+ProductDomain::Value
+ProductDomain::unOp(BVUnOp op, const Value &a) const
+{
+    Value r{iv_.unOp(op, a.iv), kb_.unOp(op, a.kb)};
+    reduce(r);
+    return r;
+}
+
+ProductDomain::Value
+ProductDomain::cast(BVCastOp op, const Value &a, int width) const
+{
+    Value r{iv_.cast(op, a.iv, width), kb_.cast(op, a.kb, width)};
+    reduce(r);
+    return r;
+}
+
+ProductDomain::Value
+ProductDomain::extract(const Value &a, int low, int count) const
+{
+    Value r{iv_.extract(a.iv, low, count), kb_.extract(a.kb, low, count)};
+    reduce(r);
+    return r;
+}
+
+ProductDomain::Value
+ProductDomain::concat(const Value &high, const Value &low) const
+{
+    Value r{iv_.concat(high.iv, low.iv), kb_.concat(high.kb, low.kb)};
+    reduce(r);
+    return r;
+}
+
+ProductDomain::Value
+ProductDomain::cmp(BVCmpOp op, const Value &a, const Value &b) const
+{
+    Value r{iv_.cmp(op, a.iv, b.iv), kb_.cmp(op, a.kb, b.kb)};
+    reduce(r);
+    return r;
+}
+
+ProductDomain::Value
+ProductDomain::select(const Value &cond, const Value &t, const Value &e) const
+{
+    const int taken = knownBool(cond);
+    if (taken > 0)
+        return t;
+    if (taken == 0)
+        return e;
+    return join(t, e);
+}
+
+ProductDomain::Value
+ProductDomain::shiftConst(BVBinOp op, const Value &a, int amount) const
+{
+    Value r{iv_.shiftConst(op, a.iv, amount),
+            kb_.shiftConst(op, a.kb, amount)};
+    reduce(r);
+    return r;
+}
+
+int
+ProductDomain::knownBool(const Value &v) const
+{
+    const int from_iv = iv_.knownBool(v.iv);
+    if (from_iv >= 0)
+        return from_iv;
+    return kb_.knownBool(v.kb);
+}
+
+ProductDomain::Value
+ProductDomain::top(int width) const
+{
+    return Value{Interval::top(width), sym::KnownBits::top(width)};
+}
+
+ProductDomain::Value
+ProductDomain::join(const Value &a, const Value &b) const
+{
+    return Value{Interval::join(a.iv, b.iv), sym::KnownBits::join(a.kb, b.kb)};
+}
+
+} // namespace dataflow
+} // namespace hydride

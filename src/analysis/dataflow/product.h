@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reduced product of the interval and known-bits domains.
+ *
+ * Each AbsValue carries both an unsigned range and per-bit facts;
+ * every operation runs both component transfer functions and then
+ * *reduces*: information one component proves tightens the other
+ * (known high zero bits cap the range, a range below 2^k zeroes the
+ * bits above k, a singleton range makes every bit known, fully-known
+ * bits collapse the range to a point).  The product is therefore at
+ * least as precise as either component alone — the property the
+ * CEGIS static pruner and the RA verifier rules rely on.
+ */
+#ifndef HYDRIDE_ANALYSIS_DATAFLOW_PRODUCT_H
+#define HYDRIDE_ANALYSIS_DATAFLOW_PRODUCT_H
+
+#include "analysis/dataflow/interval.h"
+#include "analysis/symbolic/knownbits.h"
+#include "analysis/symbolic/sym_eval.h"
+
+namespace hydride {
+namespace dataflow {
+
+/** One abstract value of the product domain. */
+struct AbsValue
+{
+    Interval iv;
+    sym::KnownBits kb;
+
+    int width() const { return iv.width(); }
+
+    bool containsConcrete(const BitVector &v) const
+    {
+        return iv.contains(v) && kb.contains(v);
+    }
+};
+
+/** Product domain; implements the sym_eval Domain concept plus the
+ *  AbstractDomain lattice surface (domain.h). */
+class ProductDomain
+{
+  public:
+    using Value = AbsValue;
+
+    // -- sym_eval Domain concept ------------------------------------
+    Value constant(const BitVector &v) const;
+    Value makeZero(int width) const;
+    int widthOf(const Value &v) const { return v.width(); }
+    void setSlice(Value &acc, int low, const Value &v) const;
+
+    Value binOp(BVBinOp op, const Value &a, const Value &b) const;
+    Value unOp(BVUnOp op, const Value &a) const;
+    Value cast(BVCastOp op, const Value &a, int width) const;
+    Value extract(const Value &a, int low, int count) const;
+    Value concat(const Value &high, const Value &low) const;
+    Value cmp(BVCmpOp op, const Value &a, const Value &b) const;
+    Value select(const Value &cond, const Value &t, const Value &e) const;
+    Value shiftConst(BVBinOp op, const Value &a, int amount) const;
+    int knownBool(const Value &v) const;
+
+    // -- AbstractDomain surface -------------------------------------
+    Value top(int width) const;
+    Value join(const Value &a, const Value &b) const;
+    bool contains(const Value &v, const BitVector &c) const
+    {
+        return v.containsConcrete(c);
+    }
+
+    /** Mutual reduction; exposed for tests. */
+    static void reduce(Value &v);
+
+  private:
+    IntervalDomain iv_;
+    sym::KnownBitsDomain kb_;
+};
+
+} // namespace dataflow
+} // namespace hydride
+
+#endif // HYDRIDE_ANALYSIS_DATAFLOW_PRODUCT_H

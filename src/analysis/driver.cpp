@@ -264,7 +264,7 @@ runMutated(const CliOptions &options, const MutationInfo &mutation,
         VerifyInput input;
         for (const IsaSemantics &sema : mutated)
             input.isas.push_back(&sema);
-        vopts.pass_ids = {"wellformed", "ub", "deadcode"};
+        vopts.pass_ids = {"wellformed", "ub", "deadcode", "range"};
         runVerifier(input, vopts, report);
     }
     return report;

@@ -1,10 +1,14 @@
 #include "analysis/inst_verify.h"
 
+#include "analysis/dataflow/abs_eval.h"
 #include "analysis/expr_check.h"
 #include "hir/bitvector.h"
+#include "observability/journal/journal.h"
 #include "observability/metrics.h"
 #include "support/env.h"
 
+#include <chrono>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -36,6 +40,11 @@ class InstChecker
         metrics::counter("analysis.verify.instructions").add();
         checkCounts();
         checkArgWidths();
+        // The abstract pass runs before the per-lane enumeration so
+        // that, when both prove the same defect at the same node, the
+        // (rule, node) dedup keeps the abstract verdict — which may
+        // carry the stronger every-lane severity.
+        checkAbstract();
         checkTemplates();
         if (rules_ & kDeadCode)
             checkLiveness();
@@ -93,6 +102,13 @@ class InstChecker
     {
         if (rules_ & kDeadCode)
             emit(severity, rule, "deadcode", node, std::move(message));
+    }
+
+    void
+    ra(const char *rule, const Expr *node, std::string message)
+    {
+        if (rules_ & kRange)
+            emit(Severity::Warning, rule, "range", node, std::move(message));
     }
 
     // ---- Int helpers -------------------------------------------------------
@@ -258,6 +274,382 @@ class InstChecker
                 }
             }
         }
+    }
+
+    // ---- Abstract-interpretation pass (full lane space) --------------------
+
+    /**
+     * Run the interval x known-bits product domain over every
+     * reachable template once per selector unit, with the loop
+     * variables abstracted to their whole ranges. One evaluation per
+     * unit covers the *full* lane space, so UB01-UB04 verdicts no
+     * longer depend on the `max_outer_iters` cap; the per-lane
+     * fallback below is uncapped and only runs on positions where
+     * the domains return no information.
+     */
+    void
+    checkAbstract()
+    {
+        if (!(rules_ & (kUndefined | kRange)))
+            return;
+        if (!outer_.ok() || !inner_.ok() || sem_.templates.empty())
+            return;
+        const auto started = std::chrono::steady_clock::now();
+
+        std::vector<std::optional<dataflow::AbsValue>> args;
+        for (const CheckedInt &w : arg_widths_) {
+            if (w.ok() && w.value >= 1 && w.value <= BitVector::kMaxWidth)
+                args.emplace_back(absdom_.top(static_cast<int>(w.value)));
+            else
+                args.emplace_back(std::nullopt);
+        }
+
+        const int64_t outer = outer_.value;
+        const int64_t inner = inner_.value;
+        const int64_t tcount = static_cast<int64_t>(sem_.templates.size());
+        auto runUnit = [&](const ExprPtr &tmpl, int64_t i_lo, int64_t i_hi,
+                           int64_t j_lo, int64_t j_hi) {
+            metrics::counter("analysis.range.units").add();
+            ++range_units_;
+            unit_ = {i_lo, i_hi, j_lo, j_hi};
+            dataflow::AbsEnv aenv;
+            aenv.ints.param_values = &params_;
+            aenv.ints.i_lo = i_lo;
+            aenv.ints.i_hi = i_hi;
+            aenv.ints.j_lo = j_lo;
+            aenv.ints.j_hi = j_hi;
+            aenv.args = &args;
+            dataflow::AbsVisitors vis;
+            vis.bv = [this](const ExprPtr &node,
+                            const std::optional<dataflow::AbsValue> &result,
+                            const std::vector<std::optional<dataflow::AbsValue>>
+                                &ops) { visitAbstractBV(node, result, ops); };
+            vis.ints = [this](const ExprPtr &node,
+                              const dataflow::IntRange &range) {
+                visitAbstractInt(node, range);
+            };
+            dataflow::absEval(tmpl, aenv, vis);
+        };
+        switch (sem_.mode) {
+          case TemplateMode::Uniform:
+            runUnit(sem_.templates[0], 0, outer - 1, 0, inner - 1);
+            break;
+          case TemplateMode::ByInner:
+            for (int64_t j = 0; j < inner && j < tcount; ++j)
+                runUnit(sem_.templates[j], 0, outer - 1, j, j);
+            break;
+          case TemplateMode::ByOuter:
+            for (int64_t i = 0; i < outer && i < tcount; ++i)
+                runUnit(sem_.templates[i], i, i, 0, inner - 1);
+            break;
+        }
+
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        metrics::histogram("analysis.range.time_ms",
+                           metrics::logTimeMsBounds())
+            .observe(ms);
+        if (journal::enabled()) {
+            auto fields = bjson::Value::makeObject();
+            fields->set("pass", bjson::Value::makeString("range"));
+            fields->set("isa", bjson::Value::makeString(sem_.isa));
+            fields->set("instruction", bjson::Value::makeString(sem_.name));
+            fields->set("time_ms", bjson::Value::makeNumber(ms));
+            fields->set("units", bjson::Value::makeNumber(
+                                     static_cast<double>(range_units_)));
+            fields->set("facts", bjson::Value::makeNumber(
+                                     static_cast<double>(range_facts_)));
+            fields->set("fallback_lanes",
+                        bjson::Value::makeNumber(
+                            static_cast<double>(range_fallback_lanes_)));
+            journal::emitEvent("analysis", fields);
+        }
+    }
+
+    /** Enumerate every lane of the current unit (no cap). */
+    template <typename F>
+    void
+    forEachUnitLane(F &&fn)
+    {
+        for (int64_t i = unit_.i_lo; i <= unit_.i_hi; ++i) {
+            for (int64_t j = unit_.j_lo; j <= unit_.j_hi; ++j) {
+                metrics::counter("analysis.range.fallback_lanes").add();
+                ++range_fallback_lanes_;
+                env_.loop_i = i;
+                env_.loop_j = j;
+                if (!fn())
+                    return;
+            }
+        }
+    }
+
+    /** UB02/UB03 over Int positions: a must-divide-by-zero is proven
+     *  directly; inconclusive may-flags fall back to uncapped
+     *  enumeration of just this expression. */
+    void
+    visitAbstractInt(const ExprPtr &node, const dataflow::IntRange &r)
+    {
+        if (!(rules_ & kUndefined))
+            return;
+        if (r.must_divzero) {
+            ub(Severity::Error, "UB02",
+               r.divzero_at ? r.divzero_at : node.get(),
+               "index arithmetic divides by zero on every lane");
+            return;
+        }
+        if (!r.may_divzero && !r.may_overflow)
+            return;
+        forEachUnitLane([&] {
+            const CheckedInt c = checkedEvalInt(node, env_);
+            if (c.status == CheckedInt::Status::DivZero) {
+                ub(Severity::Error, "UB02", c.culprit,
+                   "index arithmetic divides by a constant zero");
+                return false;
+            }
+            if (c.status == CheckedInt::Status::Overflow) {
+                ub(Severity::Error, "UB03", c.culprit,
+                   "index arithmetic overflows signed 64-bit arithmetic");
+                return false;
+            }
+            return true;
+        });
+    }
+
+    void
+    visitAbstractBV(const ExprPtr &node,
+                    const std::optional<dataflow::AbsValue> &result,
+                    const std::vector<std::optional<dataflow::AbsValue>> &ops)
+    {
+        if (result) {
+            metrics::counter("analysis.range.facts").add();
+            ++range_facts_;
+        }
+        switch (node->kind) {
+          case ExprKind::BVBin: {
+            const auto op = static_cast<BVBinOp>(node->value);
+            if (op == BVBinOp::Shl || op == BVBinOp::LShr ||
+                op == BVBinOp::AShr)
+                checkShiftRange(node, ops);
+            else if (op == BVBinOp::UDiv || op == BVBinOp::URem)
+                checkDivRange(node, ops);
+            else if (op == BVBinOp::AddSatU || op == BVBinOp::SubSatU ||
+                     op == BVBinOp::AddSatS || op == BVBinOp::SubSatS)
+                checkSatNoop(node, ops);
+            break;
+          }
+          case ExprKind::BVCast:
+            checkLosslessSat(node, result, ops);
+            break;
+          case ExprKind::Select:
+            checkDeadSelect(node, ops);
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** UB01 with the full lane space: Error when the amount is >= the
+     *  width on every lane for every input, Warning when only some
+     *  (enumerated) lanes trap. */
+    void
+    checkShiftRange(const ExprPtr &node,
+                    const std::vector<std::optional<dataflow::AbsValue>> &ops)
+    {
+        if (!(rules_ & kUndefined) || !ops[0] || !ops[1])
+            return;
+        const auto op = static_cast<BVBinOp>(node->value);
+        const int w = ops[0]->width();
+        const dataflow::Interval &amt = ops[1]->iv;
+        const BitVector wbv =
+            BitVector::fromUint(w, static_cast<uint64_t>(w));
+        if (amt.hi.ult(wbv))
+            return; // provably in range on every lane
+        if (wbv.ule(amt.lo)) {
+            ub(Severity::Error, "UB01", node.get(),
+               std::string(bvBinOpName(op)) + " amount is >= the operand "
+                   "width " + std::to_string(w) +
+                   " on every lane (all bits shifted out)");
+            return;
+        }
+        // Inconclusive: enumerate constant amounts lane by lane.
+        const ExprPtr &amount = node->kids[1];
+        if (amount->kind != ExprKind::BVConst)
+            return;
+        int64_t bad = 0, total = 0, unknown = 0;
+        forEachUnitLane([&] {
+            ++total;
+            const CheckedInt v = checkedEvalInt(amount->kids[1], env_);
+            if (!v.ok())
+                ++unknown;
+            else if (v.value < 0 || v.value >= w)
+                ++bad;
+            return true;
+        });
+        if (bad == 0)
+            return;
+        if (bad == total) {
+            ub(Severity::Error, "UB01", node.get(),
+               std::string(bvBinOpName(op)) + " shifts out every bit of a " +
+                   std::to_string(w) + "-bit value on every lane");
+        } else {
+            ub(Severity::Warning, "UB01", node.get(),
+               std::string(bvBinOpName(op)) + " shifts out every bit of a " +
+                   std::to_string(w) + "-bit value on " +
+                   std::to_string(bad) + " of " + std::to_string(total) +
+                   " lane(s)" +
+                   (unknown ? " (" + std::to_string(unknown) +
+                                  " lane(s) not statically known)"
+                            : ""));
+        }
+    }
+
+    /** UB04 with the full lane space (same severity policy as UB01). */
+    void
+    checkDivRange(const ExprPtr &node,
+                  const std::vector<std::optional<dataflow::AbsValue>> &ops)
+    {
+        if (!(rules_ & kUndefined) || !ops[1])
+            return;
+        const auto op = static_cast<BVBinOp>(node->value);
+        const dataflow::AbsValue &den = *ops[1];
+        const BitVector zero = BitVector::fromUint(den.width(), 0);
+        if (!den.containsConcrete(zero))
+            return; // provably nonzero on every lane
+        if (den.iv.hi.isZero()) {
+            ub(Severity::Error, "UB04", node.get(),
+               std::string(bvBinOpName(op)) + " by a bitvector that is "
+                   "zero on every lane (defined as all-ones, almost "
+                   "certainly unintended)");
+            return;
+        }
+        const ExprPtr &denom = node->kids[1];
+        if (denom->kind != ExprKind::BVConst)
+            return;
+        int64_t bad = 0, total = 0;
+        forEachUnitLane([&] {
+            ++total;
+            const CheckedInt v = checkedEvalInt(denom->kids[1], env_);
+            if (v.ok() && v.value == 0)
+                ++bad;
+            return true;
+        });
+        if (bad == 0)
+            return;
+        ub(bad == total ? Severity::Error : Severity::Warning, "UB04",
+           node.get(),
+           std::string(bvBinOpName(op)) +
+               " by a constant-zero bitvector on " + std::to_string(bad) +
+               " of " + std::to_string(total) +
+               " lane(s) (defined as all-ones, almost certainly "
+               "unintended)");
+    }
+
+    /** RA03: saturating arithmetic whose operand ranges prove it can
+     *  never saturate (equivalent to the plain wrap-around op). */
+    void
+    checkSatNoop(const ExprPtr &node,
+                 const std::vector<std::optional<dataflow::AbsValue>> &ops)
+    {
+        if (!(rules_ & kRange) || !ops[0] || !ops[1])
+            return;
+        const auto op = static_cast<BVBinOp>(node->value);
+        const dataflow::Interval &a = ops[0]->iv;
+        const dataflow::Interval &b = ops[1]->iv;
+        const int w = ops[0]->width();
+        bool noop = false;
+        const char *plain = nullptr;
+        if (op == BVBinOp::AddSatU) {
+            // No carry out of the top corner => no lane can saturate.
+            noop = !a.hi.add(b.hi).ult(a.hi);
+            plain = "add";
+        } else if (op == BVBinOp::SubSatU) {
+            noop = b.hi.ule(a.lo);
+            plain = "sub";
+        } else {
+            if (a.crossesSigned() || b.crossesSigned() ||
+                w + 1 > BitVector::kMaxWidth)
+                return;
+            // Evaluate the corners in w+1 bits, where signed add/sub
+            // of w-bit values cannot wrap, and compare against the
+            // w-bit signed range.
+            const BitVector lo =
+                op == BVBinOp::AddSatS
+                    ? a.smin().sext(w + 1).add(b.smin().sext(w + 1))
+                    : a.smin().sext(w + 1).sub(b.smax().sext(w + 1));
+            const BitVector hi =
+                op == BVBinOp::AddSatS
+                    ? a.smax().sext(w + 1).add(b.smax().sext(w + 1))
+                    : a.smax().sext(w + 1).sub(b.smin().sext(w + 1));
+            const BitVector min_w =
+                BitVector::allOnes(2).zext(w + 1).shl(w - 1);
+            const BitVector max_w = min_w.bvnot();
+            noop = min_w.sle(lo) && hi.sle(max_w);
+            plain = op == BVBinOp::AddSatS ? "add" : "sub";
+        }
+        if (noop) {
+            ra("RA03", node.get(),
+               std::string(bvBinOpName(op)) +
+                   " can never saturate for these operand ranges; "
+                   "equivalent to plain " + plain);
+        }
+    }
+
+    /** RA01: a saturating narrow whose source range already fits the
+     *  target width (round-trips exactly at both corners), making it
+     *  equivalent to a plain trunc. */
+    void
+    checkLosslessSat(const ExprPtr &node,
+                     const std::optional<dataflow::AbsValue> &result,
+                     const std::vector<std::optional<dataflow::AbsValue>> &ops)
+    {
+        if (!(rules_ & kRange) || !ops[0] || !result)
+            return;
+        const auto op = static_cast<BVCastOp>(node->value);
+        if (op != BVCastOp::SatNarrowS && op != BVCastOp::SatNarrowU)
+            return;
+        const int sw = ops[0]->width();
+        const int nw = result->width();
+        if (nw >= sw)
+            return;
+        const dataflow::Interval &a = ops[0]->iv;
+        // A non-crossing interval is ordered consistently in both the
+        // signed and unsigned orders, so round-tripping exactly at
+        // both corners proves the (monotone) clamp is the identity on
+        // the whole range.
+        if (a.crossesSigned())
+            return;
+        auto roundTrips = [&](const BitVector &v) {
+            if (op == BVCastOp::SatNarrowS)
+                return v.satNarrowS(nw).sext(sw) == v;
+            return v.satNarrowU(nw).zext(sw) == v;
+        };
+        if (roundTrips(a.smin()) && roundTrips(a.smax())) {
+            ra("RA01", node.get(),
+               std::string(bvCastOpName(op)) + " to " + std::to_string(nw) +
+                   " bits never saturates for this operand range; "
+                   "equivalent to a plain trunc");
+        }
+    }
+
+    /** RA02: a select whose condition the domains decide for every
+     *  lane and every input — one branch is dead. */
+    void
+    checkDeadSelect(const ExprPtr &node,
+                    const std::vector<std::optional<dataflow::AbsValue>> &ops)
+    {
+        if (!(rules_ & kRange) || ops.empty() || !ops[0])
+            return;
+        if (ops[0]->width() != 1)
+            return; // WF04's business
+        const int taken = absdom_.knownBool(*ops[0]);
+        if (taken < 0)
+            return;
+        ra("RA02", node.get(),
+           std::string("select condition is always ") +
+               (taken ? "true" : "false") + "; the " +
+               (taken ? "else" : "then") + " branch is dead");
     }
 
     /**
@@ -582,6 +974,17 @@ class InstChecker
     /** Per-argument read bitmap (pedantic DC05 only). */
     std::vector<std::vector<bool>> arg_read_;
     std::set<std::pair<const Expr *, const char *>> dedup_;
+    /** Lane ranges of the selector unit checkAbstract is visiting. */
+    struct LaneRange
+    {
+        int64_t i_lo = 0, i_hi = -1, j_lo = 0, j_hi = -1;
+    } unit_;
+    dataflow::ProductDomain absdom_;
+    /** Per-instruction tallies mirrored into the `analysis` journal
+     *  event (the metrics counters are process-wide). */
+    long range_units_ = 0;
+    long range_facts_ = 0;
+    long range_fallback_lanes_ = 0;
 };
 
 } // namespace

@@ -13,6 +13,10 @@
  *  - UB (undefined behaviour): shift amounts provably >= the operand
  *    width, division by a constant-zero denominator, signed 64-bit
  *    overflow in index arithmetic.
+ *  - RA (range analysis): provably-lossless saturating narrows,
+ *    constant-foldable selects, saturating arithmetic that can never
+ *    saturate — redundancy diagnosed by the abstract-interpretation
+ *    framework (src/analysis/dataflow/).
  *  - DC (dead code): bitvector arguments, numerical parameters, and
  *    integer immediates that never influence the output; template
  *    counts inconsistent with the selector mode (unreachable or
@@ -22,6 +26,18 @@
  * Checks are static: widths and indices are evaluated under the
  * default parameter values across every (lane, element) iteration,
  * which makes "provably" concrete without running the semantics.
+ * The UB and RA families additionally run the interval x known-bits
+ * product domain over each reachable template with the loop
+ * variables abstracted to their whole ranges, so their verdicts
+ * cover the full lane space even when the concrete enumeration is
+ * capped; per-lane enumeration is only a fallback for positions
+ * where the domains return no information.
+ *
+ * Severity policy (documented in docs/static_analysis.md): UB02/UB03
+ * are always errors (evaluation would abort); UB01/UB04 are errors
+ * when the trap provably fires on every reachable lane for every
+ * input, and warnings when only some lanes trap. RA redundancy
+ * findings are always warnings.
  * These passes have no dependencies beyond the HIR, so `SpecDB` runs
  * them at load time as debug-mode assertions (`loadTimeVerifyEnabled`).
  */
@@ -39,7 +55,8 @@ enum InstRuleSet : unsigned {
     kWellFormed = 1u << 0, ///< WF rules.
     kUndefined = 1u << 1,  ///< UB rules.
     kDeadCode = 1u << 2,   ///< DC rules.
-    kAllInstRules = kWellFormed | kUndefined | kDeadCode,
+    kRange = 1u << 3,      ///< RA value-range redundancy rules.
+    kAllInstRules = kWellFormed | kUndefined | kDeadCode | kRange,
 };
 
 /** Knobs for the per-instruction passes. */

@@ -23,6 +23,20 @@ allMutations()
          "divide the element width by constant zero", false},
         {"dead-arg", "DC01",
          "append a bitvector argument no template reads", false},
+        // Redundancy defects: well-formed, semantics-preserving noise
+        // that only the abstract-interpretation RA rules diagnose.
+        {"lossless-sat", "RA01",
+         "OR the first template with a saturating narrow whose source "
+         "range provably fits the target width",
+         false},
+        {"dead-select", "RA02",
+         "wrap the first template in a select whose condition is a "
+         "constant comparison",
+         false},
+        {"noop-sat", "RA03",
+         "OR the first template with a saturating add whose operand "
+         "ranges can never saturate",
+         false},
         {"template-count", "DC04",
          "append an unreachable duplicate template in Uniform mode", false},
         {"dangling-name", "XT01",
@@ -196,6 +210,38 @@ mutateSemantics(IsaSemantics &sema, const std::string &kind)
         }
         if (kind == "dead-arg") {
             inst.bv_args.push_back({"__mut_dead", intConst(8)});
+            return inst.name;
+        }
+        if (kind == "lossless-sat") {
+            // t | satNarrowU(0_{ew+8} -> ew): the constant source
+            // range [0, 0] always fits, so the narrow is provably a
+            // trunc (RA01) while the OR with zero preserves meaning.
+            ExprPtr wide = bvConst(
+                intBin(IntBinOp::Add, inst.elem_width, intConst(8)),
+                intConst(0));
+            inst.templates[0] = bvBin(
+                BVBinOp::Or, inst.templates[0],
+                bvCast(BVCastOp::SatNarrowU, wide, inst.elem_width));
+            return inst.name;
+        }
+        if (kind == "dead-select") {
+            // select(0 <u 1, t, t): the condition is decided for every
+            // lane and input, so one branch is provably dead (RA02).
+            ExprPtr cond =
+                bvCmp(BVCmpOp::Ult, bvConst(intConst(8), intConst(0)),
+                      bvConst(intConst(8), intConst(1)));
+            inst.templates[0] =
+                select(cond, inst.templates[0], inst.templates[0]);
+            return inst.name;
+        }
+        if (kind == "noop-sat") {
+            // t | (0 +sat 0): the saturation point is unreachable for
+            // these operand ranges (RA03); OR with zero preserves
+            // meaning.
+            ExprPtr zero = bvConst(inst.elem_width, intConst(0));
+            inst.templates[0] =
+                bvBin(BVBinOp::Or, inst.templates[0],
+                      bvBin(BVBinOp::AddSatU, zero, zero));
             return inst.name;
         }
         if (kind == "template-count") {

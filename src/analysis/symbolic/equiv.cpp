@@ -160,6 +160,50 @@ checkEquiv(const BVFun &a, const BVFun &b, const EqBudget &budget)
         }
     }
 
+    // Tier 1b: interval abstract interpretation with unknown args.
+    // Value ranges see facts bitwise tracking cannot (division,
+    // remainder, saturation, decided comparisons); both tiers cost a
+    // single abstract walk, so running both before any circuit
+    // construction is still essentially free.
+    if (a.intervals && b.intervals) {
+        try {
+            dataflow::IntervalDomain dom;
+            std::vector<dataflow::Interval> args;
+            args.reserve(a.arg_widths.size());
+            for (int w : a.arg_widths)
+                args.push_back(dataflow::Interval::top(w));
+            const dataflow::Interval ia = a.intervals(dom, args);
+            const dataflow::Interval ib = b.intervals(dom, args);
+            if (ia.width() == ib.width()) {
+                if (ia.isSingleton() && ib.isSingleton() && ia.lo == ib.lo) {
+                    metrics::counter("symbolic.equiv.interval_proved").add();
+                    result.verdict = Verdict::Proved;
+                    result.method = "interval";
+                    result.seconds = secondsSince(start);
+                    return result;
+                }
+                // Disjoint ranges hold for *every* input; validate the
+                // all-zeros assignment concretely before reporting.
+                if ((ia.hi.ult(ib.lo) || ib.hi.ult(ia.lo)) && a.concrete &&
+                    b.concrete) {
+                    const std::vector<BitVector> model =
+                        zeroArgs(a.arg_widths);
+                    if (validateModel(a, b, model)) {
+                        metrics::counter("symbolic.equiv.interval_refuted")
+                            .add();
+                        result.verdict = Verdict::Refuted;
+                        result.method = "interval";
+                        result.model = model;
+                        result.seconds = secondsSince(start);
+                        return result;
+                    }
+                }
+            }
+        } catch (const AssertionError &) {
+            // Fall through to the exact tiers.
+        }
+    }
+
     // Tier 2: bit-blast both sides into one hashed AIG and build the
     // inequality miter.
     Aig aig(budget.max_nodes);
@@ -319,6 +363,14 @@ semanticsFun(const SemanticsSide &side, const std::vector<int> &input_widths)
                      arg_map](KnownBitsDomain &dom,
                               const std::vector<KnownBits> &inputs) {
         std::vector<KnownBits> args(arg_map.size());
+        for (size_t k = 0; k < arg_map.size(); ++k)
+            args[k] = inputs[arg_map[k]];
+        return evalSemanticsDom(dom, *sem, args, params, int_args);
+    };
+    fun.intervals = [sem, params, int_args,
+                     arg_map](dataflow::IntervalDomain &dom,
+                              const std::vector<dataflow::Interval> &inputs) {
+        std::vector<dataflow::Interval> args(arg_map.size());
         for (size_t k = 0; k < arg_map.size(); ++k)
             args[k] = inputs[arg_map[k]];
         return evalSemanticsDom(dom, *sem, args, params, int_args);

@@ -15,6 +15,13 @@
  *     agree, the query is proved with no circuit construction at all.
  *     If the sides disagree on a bit both *know*, any input refutes —
  *     the all-zeros assignment is validated concretely and reported.
+ *  1b. *Intervals*: the same abstract pass over the value-range
+ *     domain (analysis/dataflow). Both outputs collapsing to the same
+ *     singleton proves; provably-disjoint ranges mean the sides
+ *     differ on every input, so the all-zeros assignment is validated
+ *     concretely and reported. Catches range facts (division,
+ *     remainder, saturation, comparisons) that bitwise tracking
+ *     cannot see.
  *  2. *Structural (AIG)*: both sides are bit-blasted into one
  *     structurally-hashed AIG and a miter (OR of per-bit XORs) is
  *     built. Equivalent compositions usually collapse to constant
@@ -36,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow/interval.h"
 #include "analysis/symbolic/sym_eval.h"
 
 namespace hydride {
@@ -57,7 +65,8 @@ struct EqBudget
 struct EqResult
 {
     Verdict verdict = Verdict::Unknown;
-    /** Tier that decided: "knownbits", "structural", "sat". */
+    /** Tier that decided: "knownbits", "interval", "structural",
+     *  "sat" (or "concrete" for the sampling tier). */
     std::string method;
     /** For unknown verdicts: which budget or failure was hit. */
     std::string reason;
@@ -70,11 +79,13 @@ struct EqResult
 };
 
 /**
- * One side of a query: a bitvector function given three ways — the
+ * One side of a query: a bitvector function given four ways — the
  * concrete reference (used for model validation), the bit-blasting
- * evaluation, and the known-bits evaluation. All three must implement
- * the *same* function; the callbacks typically share one evaluator
- * templated on the domain (sym_eval.h), which makes that structural.
+ * evaluation, and the known-bits and interval abstract evaluations.
+ * All must implement the *same* function; the callbacks typically
+ * share one evaluator templated on the domain (sym_eval.h), which
+ * makes that structural. `knownbits` and `intervals` are optional:
+ * a null callback skips that abstract tier.
  */
 struct BVFun
 {
@@ -83,6 +94,9 @@ struct BVFun
     std::function<SymVec(AigDomain &, const std::vector<SymVec> &)> symbolic;
     std::function<KnownBits(KnownBitsDomain &,
                             const std::vector<KnownBits> &)> knownbits;
+    std::function<dataflow::Interval(dataflow::IntervalDomain &,
+                                     const std::vector<dataflow::Interval> &)>
+        intervals;
 };
 
 /** Decide whether `a` and `b` agree on every input. */

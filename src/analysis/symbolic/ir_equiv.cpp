@@ -303,6 +303,11 @@ moduleFun(const AutoLLVMDict &dict, const AutoModule &module)
                                      const std::vector<KnownBits> &inputs) {
         return evalModuleDom(dom, dict, module, inputs);
     };
+    fun.intervals = [&dict,
+                     &module](dataflow::IntervalDomain &dom,
+                              const std::vector<dataflow::Interval> &inputs) {
+        return evalModuleDom(dom, dict, module, inputs);
+    };
     return fun;
 }
 
@@ -322,6 +327,11 @@ targetHWFun(const AutoLLVMDict &dict, const TargetProgram &program)
                                       const std::vector<KnownBits> &inputs) {
         return evalTargetHWDom(dom, dict, program, inputs);
     };
+    fun.intervals = [&dict,
+                     &program](dataflow::IntervalDomain &dom,
+                               const std::vector<dataflow::Interval> &inputs) {
+        return evalTargetHWDom(dom, dict, program, inputs);
+    };
     return fun;
 }
 
@@ -339,6 +349,10 @@ windowFun(const HExprPtr &window, const std::vector<int> &input_widths)
     };
     fun.knownbits = [window](KnownBitsDomain &dom,
                              const std::vector<KnownBits> &inputs) {
+        return evalHalideDom(dom, window, inputs);
+    };
+    fun.intervals = [window](dataflow::IntervalDomain &dom,
+                             const std::vector<dataflow::Interval> &inputs) {
         return evalHalideDom(dom, window, inputs);
     };
     return fun;

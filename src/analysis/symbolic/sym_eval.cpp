@@ -137,7 +137,7 @@ bothKnown(const KnownBits &a, const KnownBits &b)
 } // namespace
 
 KnownBits
-KnownBitsDomain::binOp(BVBinOp op, const KnownBits &a, const KnownBits &b)
+KnownBitsDomain::binOp(BVBinOp op, const KnownBits &a, const KnownBits &b) const
 {
     switch (op) {
       case BVBinOp::Add: return kbAdd(a, b);
@@ -169,7 +169,7 @@ KnownBitsDomain::binOp(BVBinOp op, const KnownBits &a, const KnownBits &b)
 }
 
 KnownBits
-KnownBitsDomain::unOp(BVUnOp op, const KnownBits &a)
+KnownBitsDomain::unOp(BVUnOp op, const KnownBits &a) const
 {
     switch (op) {
       case BVUnOp::Not: return kbNot(a);
@@ -188,7 +188,7 @@ KnownBitsDomain::unOp(BVUnOp op, const KnownBits &a)
 }
 
 KnownBits
-KnownBitsDomain::cast(BVCastOp op, const KnownBits &a, int width)
+KnownBitsDomain::cast(BVCastOp op, const KnownBits &a, int width) const
 {
     switch (op) {
       case BVCastOp::SExt: return kbSext(a, width);
@@ -208,19 +208,19 @@ KnownBitsDomain::cast(BVCastOp op, const KnownBits &a, int width)
 }
 
 KnownBits
-KnownBitsDomain::extract(const KnownBits &a, int low, int count)
+KnownBitsDomain::extract(const KnownBits &a, int low, int count) const
 {
     return kbExtract(a, low, count);
 }
 
 KnownBits
-KnownBitsDomain::concat(const KnownBits &high, const KnownBits &low)
+KnownBitsDomain::concat(const KnownBits &high, const KnownBits &low) const
 {
     return kbConcat(high, low);
 }
 
 KnownBits
-KnownBitsDomain::cmp(BVCmpOp op, const KnownBits &a, const KnownBits &b)
+KnownBitsDomain::cmp(BVCmpOp op, const KnownBits &a, const KnownBits &b) const
 {
     switch (op) {
       case BVCmpOp::Eq: return kbEq(a, b);
@@ -236,7 +236,7 @@ KnownBitsDomain::cmp(BVCmpOp op, const KnownBits &a, const KnownBits &b)
 
 KnownBits
 KnownBitsDomain::select(const KnownBits &cond, const KnownBits &t,
-                        const KnownBits &e)
+                        const KnownBits &e) const
 {
     return kbSelect(cond, t, e);
 }
@@ -250,7 +250,7 @@ KnownBitsDomain::knownBool(const KnownBits &v) const
 }
 
 KnownBits
-KnownBitsDomain::shiftConst(BVBinOp op, const KnownBits &a, int amount)
+KnownBitsDomain::shiftConst(BVBinOp op, const KnownBits &a, int amount) const
 {
     switch (op) {
       case BVBinOp::Shl: return kbShl(a, amount);

@@ -91,17 +91,30 @@ class KnownBitsDomain
         acc.value.setSlice(low, v.value);
     }
 
-    Value binOp(BVBinOp op, const Value &a, const Value &b);
-    Value unOp(BVUnOp op, const Value &a);
-    Value cast(BVCastOp op, const Value &a, int width);
-    Value extract(const Value &a, int low, int count);
-    Value concat(const Value &high, const Value &low);
-    Value cmp(BVCmpOp op, const Value &a, const Value &b);
-    Value select(const Value &cond, const Value &t, const Value &e);
+    Value binOp(BVBinOp op, const Value &a, const Value &b) const;
+    Value unOp(BVUnOp op, const Value &a) const;
+    Value cast(BVCastOp op, const Value &a, int width) const;
+    Value extract(const Value &a, int low, int count) const;
+    Value concat(const Value &high, const Value &low) const;
+    Value cmp(BVCmpOp op, const Value &a, const Value &b) const;
+    Value select(const Value &cond, const Value &t, const Value &e) const;
     /** Shift by a concrete amount (op must be Shl/LShr/AShr). */
-    Value shiftConst(BVBinOp op, const Value &a, int amount);
+    Value shiftConst(BVBinOp op, const Value &a, int amount) const;
     /** 1 / 0 when the value is definitely nonzero / zero, -1 else. */
     int knownBool(const Value &v) const;
+
+    // AbstractDomain lattice surface (analysis/dataflow/domain.h):
+    // the known-bits domain behind the same interface as the
+    // interval domain, so the reduced product can compose them.
+    Value top(int width) const { return KnownBits::top(width); }
+    Value join(const Value &a, const Value &b) const
+    {
+        return KnownBits::join(a, b);
+    }
+    bool contains(const Value &v, const BitVector &c) const
+    {
+        return v.contains(c);
+    }
 };
 
 /** Environment: symbolic BV arguments + concrete integer state. */

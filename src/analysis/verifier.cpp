@@ -21,6 +21,8 @@ verifierPasses()
         {"ub", "undefined-behaviour detection", "UB01..UB04", false},
         {"deadcode", "dead operands / unreachable templates", "DC01..DC05",
          false},
+        {"range", "abstract-interpretation value-range redundancy",
+         "RA01..RA03", false},
         {"crosstable", "AutoLLVM / lowering-table consistency",
          "XT01..XT09", true},
         {"equiv", "symbolic translation validation", "EQ01..EQ04", true,
@@ -368,6 +370,8 @@ runVerifier(const VerifyInput &input, const VerifierOptions &options,
         rules |= kUndefined;
     if (options.runsPass("deadcode"))
         rules |= kDeadCode;
+    if (options.runsPass("range"))
+        rules |= kRange;
 
     if (rules) {
         for (const IsaSemantics *sema : input.isas) {

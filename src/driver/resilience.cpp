@@ -284,6 +284,8 @@ ResilientCompiler::compileWindow(const HExprPtr &window)
         ledger.cegis_iterations = out.synth.cegis_iterations;
         ledger.counterexamples = out.synth.counterexamples;
         ledger.candidates_rejected = out.synth.candidates_rejected;
+        ledger.candidates_rejected_static =
+            static_cast<int>(out.synth.candidates_rejected_static);
         ledger.symbolic_refutations = out.synth.symbolic_refutations;
         ledger.symbolic_unknowns = out.synth.symbolic_unknowns;
         ledger.symbolic_verdict = out.synth.symbolic_verdict;

@@ -290,6 +290,8 @@ emitWindow(const WindowLedger &ledger)
                bjson::Value::makeNumber(ledger.counterexamples));
     cegis->set("rejected",
                bjson::Value::makeNumber(ledger.candidates_rejected));
+    cegis->set("rejected_static",
+               bjson::Value::makeNumber(ledger.candidates_rejected_static));
     cegis->set("symbolic_refutations",
                bjson::Value::makeNumber(ledger.symbolic_refutations));
     cegis->set("symbolic_unknowns",

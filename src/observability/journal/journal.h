@@ -74,6 +74,9 @@ struct WindowLedger
     int cegis_iterations = 0;
     int counterexamples = 0;
     int candidates_rejected = 0;
+    /** Candidates the abstract-interpretation tier pruned before any
+     *  counterexample evaluation. */
+    int candidates_rejected_static = 0;
     int symbolic_refutations = 0;
     int symbolic_unknowns = 0;
     std::string symbolic_verdict; ///< "" when the checker never ran.

@@ -63,6 +63,15 @@ struct SynthesisOptions
      */
     bool symbolic_verify = false;
     sym::EqBudget symbolic_budget;
+    /**
+     * Static candidate pruning: abstract-interpret each grammar op
+     * (interval x known-bits over top arguments) and discard
+     * solution-width candidates whose abstract output cannot contain
+     * the specification's observed outputs — before any concrete
+     * counterexample evaluation. Sound: the abstract value
+     * over-approximates the op's outputs for *every* operand choice.
+     */
+    bool static_prune = true;
 };
 
 /** Outcome of synthesizing one window. */
@@ -76,6 +85,9 @@ struct SynthesisResult
     int cegis_iterations = 0;
     int counterexamples = 0;      ///< Counterexample inputs accumulated.
     long candidates_rejected = 0; ///< Dedup/bank-full enumeration rejects.
+    /** Solution-width candidates discarded by abstract interpretation
+     *  before counterexample evaluation (`static_prune`). */
+    long candidates_rejected_static = 0;
     int scale = 1;
     std::string note;
     /** Candidates rejected by a symbolic counterexample (only with

@@ -158,7 +158,53 @@ TEST(Undefined, FullWidthShiftIsUB01)
         bvBin(BVBinOp::Shl, elem, bvConst(param(0, "p0"), intConst(16)))};
     const DiagnosticReport report = check(sem);
     EXPECT_TRUE(hasRule(report, "UB01")) << report.renderText();
-    EXPECT_FALSE(report.hasErrors()); // UB01 is a warning.
+    // The abstract pass proves the trap fires on every lane for every
+    // input, which promotes UB01 to an error.
+    EXPECT_TRUE(report.hasErrors()) << report.renderText();
+}
+
+TEST(Undefined, PartialLaneShiftIsUB01Warning)
+{
+    CanonicalSemantics sem = makeGoodAdd();
+    ExprPtr low = mulI(loopVar(0), param(0, "p0"));
+    ExprPtr elem = extract(argBV(0), low, param(0, "p0"));
+    // Shift amount 4*i: lanes 4..7 shift a 16-bit value by >= 16, the
+    // rest are fine, so UB01 must stay a warning.
+    sem.templates = {bvBin(
+        BVBinOp::Shl, elem,
+        bvConst(param(0, "p0"), mulI(intConst(4), loopVar(0))))};
+    const DiagnosticReport report = check(sem);
+    EXPECT_TRUE(hasRule(report, "UB01")) << report.renderText();
+    EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+TEST(Undefined, LaneCapCannotSkipTrappingLanes)
+{
+    CanonicalSemantics sem = makeGoodAdd();
+    // Division by (i - 5) traps only on lane 5 — beyond a cap of 2
+    // and not the always-checked last lane, so the old capped
+    // enumeration would have missed it.
+    ExprPtr ew = param(0, "p0");
+    ExprPtr poison =
+        mulI(intConst(0), divI(intConst(1), subI(loopVar(0), intConst(5))));
+    ExprPtr low = addI(mulI(loopVar(0), ew), poison);
+    sem.templates = {extract(argBV(0), low, ew)};
+    InstVerifyOptions options;
+    options.max_outer_iters = 2;
+    const DiagnosticReport report = check(sem, kAllInstRules, options);
+    EXPECT_TRUE(hasRule(report, "UB02")) << report.renderText();
+}
+
+TEST(Undefined, EveryLaneZeroDivisorIsUB04Error)
+{
+    CanonicalSemantics sem = makeGoodAdd();
+    ExprPtr low = mulI(loopVar(0), param(0, "p0"));
+    ExprPtr elem = extract(argBV(0), low, param(0, "p0"));
+    sem.templates = {bvBin(BVBinOp::UDiv, elem,
+                           bvConst(param(0, "p0"), intConst(0)))};
+    const DiagnosticReport report = check(sem);
+    EXPECT_TRUE(hasRule(report, "UB04")) << report.renderText();
+    EXPECT_TRUE(report.hasErrors()) << report.renderText();
 }
 
 TEST(Undefined, ConstantZeroDivisionIsUB02)
@@ -190,6 +236,65 @@ TEST(Undefined, CheckedEvalIntFlagsOverflowAndDivZero)
     // Unknown immediates stay unknown, never errors.
     r = checkedEvalInt(divI(namedVar("imm"), intConst(4)), env);
     EXPECT_EQ(r.status, CheckedInt::Status::Unknown);
+}
+
+// ---- Range analysis (RA) ---------------------------------------------------
+
+TEST(RangeAnalysis, LosslessSatNarrowIsRA01)
+{
+    CanonicalSemantics sem = makeGoodAdd();
+    ExprPtr ew = param(0, "p0");
+    ExprPtr low = mulI(loopVar(0), ew);
+    ExprPtr elem = extract(argBV(0), low, ew);
+    // zext to 24 bits then saturating-narrow back to 16: the source
+    // range [0, 0xFFFF] always fits, so the saturation is a no-op.
+    sem.templates = {bvCast(
+        BVCastOp::SatNarrowU,
+        bvCast(BVCastOp::ZExt, elem, intConst(24)), intConst(16))};
+    const DiagnosticReport report = check(sem);
+    EXPECT_TRUE(hasRule(report, "RA01")) << report.renderText();
+    EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+TEST(RangeAnalysis, ConstantConditionSelectIsRA02)
+{
+    CanonicalSemantics sem = makeGoodAdd();
+    ExprPtr ew = param(0, "p0");
+    ExprPtr low = mulI(loopVar(0), ew);
+    ExprPtr elem = extract(argBV(0), low, ew);
+    ExprPtr cond = bvCmp(BVCmpOp::Ult, bvConst(intConst(8), intConst(0)),
+                         bvConst(intConst(8), intConst(1)));
+    sem.templates = {select(cond, elem, extract(argBV(1), low, ew))};
+    EXPECT_TRUE(hasRule(check(sem), "RA02"));
+}
+
+TEST(RangeAnalysis, ProvablyUnsaturatedAddIsRA03)
+{
+    CanonicalSemantics sem = makeGoodAdd();
+    ExprPtr ew = param(0, "p0");
+    ExprPtr low = mulI(loopVar(0), ew);
+    ExprPtr elem = extract(argBV(0), low, ew);
+    // (elem & 0xFF) +sat 1 peaks at 0x100, far below the 16-bit
+    // saturation point.
+    sem.templates = {
+        bvBin(BVBinOp::AddSatU,
+              bvBin(BVBinOp::And, elem, bvConst(ew, intConst(255))),
+              bvConst(ew, intConst(1)))};
+    EXPECT_TRUE(hasRule(check(sem), "RA03"));
+}
+
+TEST(RangeAnalysis, RulesAreGatedBehindKRange)
+{
+    CanonicalSemantics sem = makeGoodAdd();
+    ExprPtr ew = param(0, "p0");
+    ExprPtr low = mulI(loopVar(0), ew);
+    ExprPtr elem = extract(argBV(0), low, ew);
+    sem.templates = {bvCast(
+        BVCastOp::SatNarrowU,
+        bvCast(BVCastOp::ZExt, elem, intConst(24)), intConst(16))};
+    const DiagnosticReport report =
+        check(sem, kWellFormed | kUndefined | kDeadCode);
+    EXPECT_FALSE(hasRule(report, "RA01")) << report.renderText();
 }
 
 // ---- Dead code (DC) --------------------------------------------------------

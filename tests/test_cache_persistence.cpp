@@ -30,11 +30,24 @@ class CachePersistence : public ::testing::Test
 {
   protected:
     void
+    SetUp() override
+    {
+        // ctest runs each test in its own process but in one working
+        // directory; a shared file name races under -j.
+        storage_ = std::string("hydride_cache_test_") +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+                   ".tmp";
+        path_ = storage_.c_str();
+    }
+    void
     TearDown() override
     {
         std::remove(path_);
     }
-    const char *path_ = "hydride_cache_test.tmp";
+    std::string storage_;
+    const char *path_ = nullptr;
 };
 
 TEST_F(CachePersistence, RoundTripPreservesModules)

@@ -304,6 +304,10 @@ funFromTree(TreePtr tree, int width)
                            const std::vector<KnownBits> &args) {
         return evalTreeDom(*tree, dom, args);
     };
+    fun.intervals = [tree](dataflow::IntervalDomain &dom,
+                           const std::vector<dataflow::Interval> &args) {
+        return evalTreeDom(*tree, dom, args);
+    };
     return fun;
 }
 
@@ -428,6 +432,65 @@ TEST(CheckEquiv, VerdictsAgreeWithExhaustiveEnumeration)
     // The fuzz must exercise both verdicts to mean anything.
     EXPECT_GT(proved, 0);
     EXPECT_GT(refuted, 0);
+}
+
+/** ult(urem(x, 5), 6) over any domain: a range fact that bitwise
+ *  tracking cannot decide (urem(x, 5) has three unknown low bits, so
+ *  its known-bits maximum is 7 >= 6) but intervals settle instantly
+ *  (urem(x, 5) is in [0, 4] and 4 < 6). */
+template <typename Domain>
+typename Domain::Value
+evalRangeFact(Domain &dom, const typename Domain::Value &x)
+{
+    const auto five = dom.constant(BitVector::fromUint(8, 5));
+    const auto six = dom.constant(BitVector::fromUint(8, 6));
+    return dom.cmp(BVCmpOp::Ult, dom.binOp(BVBinOp::URem, x, five), six);
+}
+
+TEST(CheckEquiv, IntervalTierProvesRangeFacts)
+{
+    sym::BVFun lhs;
+    lhs.arg_widths = {8};
+    lhs.concrete = [](const std::vector<BitVector> &args) {
+        const BitVector rem = args[0].urem(BitVector::fromUint(8, 5));
+        return BitVector::fromUint(1, rem.ult(BitVector::fromUint(8, 6)));
+    };
+    lhs.symbolic = [](sym::AigDomain &dom,
+                      const std::vector<sym::SymVec> &args) {
+        return evalRangeFact(dom, args[0]);
+    };
+    lhs.knownbits = [](sym::KnownBitsDomain &dom,
+                       const std::vector<KnownBits> &args) {
+        return evalRangeFact(dom, args[0]);
+    };
+    lhs.intervals = [](dataflow::IntervalDomain &dom,
+                       const std::vector<dataflow::Interval> &args) {
+        return evalRangeFact(dom, args[0]);
+    };
+
+    sym::BVFun rhs;
+    rhs.arg_widths = {8};
+    const BitVector one = BitVector::fromUint(1, 1);
+    rhs.concrete = [one](const std::vector<BitVector> &) { return one; };
+    rhs.symbolic = [one](sym::AigDomain &dom,
+                         const std::vector<sym::SymVec> &) {
+        return dom.constant(one);
+    };
+    rhs.knownbits = [one](sym::KnownBitsDomain &dom,
+                          const std::vector<KnownBits> &) {
+        return dom.constant(one);
+    };
+    rhs.intervals = [one](dataflow::IntervalDomain &dom,
+                          const std::vector<dataflow::Interval> &) {
+        return dom.constant(one);
+    };
+
+    const sym::EqResult r = sym::checkEquiv(lhs, rhs, sym::EqBudget{});
+    EXPECT_EQ(r.verdict, sym::Verdict::Proved) << r.method << " " << r.reason;
+    // The interval tier must have decided — earlier tiers cannot:
+    // sampling never refutes an equivalence, and known-bits leaves the
+    // comparison bit unknown.
+    EXPECT_EQ(r.method, "interval");
 }
 
 TEST(CheckEquiv, BudgetExhaustionIsUnknownNeverProved)

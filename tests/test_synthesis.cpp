@@ -194,6 +194,30 @@ TEST(Cegis, LaneScalingReportsScaleFactor)
     EXPECT_EQ(unscaled.cost, result.cost);
 }
 
+TEST(Cegis, StaticPruningPreservesResultAndRejectsCandidates)
+{
+    // Default options: the abstract-interpretation tier discards
+    // candidates whose output range cannot contain the spec outputs,
+    // before any concrete evaluation.
+    SynthesisResult pruned =
+        synthesizeWindow(dict(), "x86", matmulWindow(512));
+    ASSERT_TRUE(pruned.ok) << pruned.note;
+    EXPECT_GT(pruned.candidates_rejected_static, 0);
+
+    // Pruning only removes candidates that can never match, so the
+    // search must land on the same winner at the same cost without it.
+    SynthesisOptions no_prune;
+    no_prune.static_prune = false;
+    SynthesisResult unpruned =
+        synthesizeWindow(dict(), "x86", matmulWindow(512), no_prune);
+    ASSERT_TRUE(unpruned.ok) << unpruned.note;
+    EXPECT_EQ(unpruned.candidates_rejected_static, 0);
+    ASSERT_EQ(unpruned.module.insts.size(), pruned.module.insts.size());
+    EXPECT_EQ(pruned.module.insts[0].op.member(dict()).name,
+              unpruned.module.insts[0].op.member(dict()).name);
+    EXPECT_EQ(pruned.cost, unpruned.cost);
+}
+
 TEST(Cegis, SymbolicCounterexampleRejectsWrongCandidate)
 {
     // Starve the random-verification tier (zero vectors): the first

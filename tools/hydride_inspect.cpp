@@ -72,6 +72,7 @@ struct Win
     int iterations = 0;
     int counterexamples = 0;
     int rejected = 0;
+    int rejected_static = 0;
     int sym_refutations = 0;
     int sym_unknowns = 0;
     std::string verdict;
@@ -123,6 +124,8 @@ decodeWindow(const bjson::Value &event)
         win.counterexamples =
             static_cast<int>(cegis->getNumber("counterexamples", 0));
         win.rejected = static_cast<int>(cegis->getNumber("rejected", 0));
+        win.rejected_static =
+            static_cast<int>(cegis->getNumber("rejected_static", 0));
         win.sym_refutations = static_cast<int>(
             cegis->getNumber("symbolic_refutations", 0));
         win.sym_unknowns =
@@ -246,9 +249,10 @@ printWin(const Win &win, const journal::Journal &loaded)
     std::printf("  rung:      %s%s\n", win.rung.c_str(),
                 win.recovered ? "  (recovered from a caught error)" : "");
     std::printf("  cegis:     %d iterations, %d counterexamples, "
-                "%d candidates rejected, %d retries\n",
+                "%d candidates rejected (%d statically, before any "
+                "evaluation), %d retries\n",
                 win.iterations, win.counterexamples, win.rejected,
-                win.retries);
+                win.rejected_static, win.retries);
     std::printf("  symbolic:  verdict %s, %d refutations, %d unknowns\n",
                 win.verdict.empty() ? "-" : win.verdict.c_str(),
                 win.sym_refutations, win.sym_unknowns);

@@ -19,6 +19,16 @@
 #                            broken-ladder detection check. Composes
 #                            with --sanitize: `--sanitize --chaos`
 #                            runs the sweep under the sanitizers.
+#   ./run_all.sh --chaos-store
+#                            run the multi-process store crash-safety
+#                            suite (docs/cache_store.md): SIGKILL a
+#                            writer mid-append and salvage, N
+#                            concurrent forked writers on one shard,
+#                            durable quarantine of a poisoned entry,
+#                            and the poison-reaches-codegen detection
+#                            check (expected failure). Composes with
+#                            --sanitize: `--sanitize --chaos-store`
+#                            runs the suite under the sanitizers.
 #   ./run_all.sh --bench     run the continuous-benchmarking smoke
 #                            suite (`hydride-bench --smoke`), validate
 #                            the merged artifact with
@@ -42,9 +52,11 @@
 
 TRACE_MODE=0
 CHAOS_MODE=0
+CHAOS_STORE_MODE=0
 CHAOS_BUILD=build
 for arg in "$@"; do
     [ "$arg" = "--chaos" ] && CHAOS_MODE=1
+    [ "$arg" = "--chaos-store" ] && CHAOS_STORE_MODE=1
 done
 
 run_chaos() {
@@ -62,6 +74,24 @@ run_chaos() {
     echo "run_all: chaos sweep passed"
 }
 
+run_chaos_store() {
+    # Multi-process crash safety: a SIGKILL'd writer costs exactly its
+    # torn record, concurrent writers lose nothing, poisoned entries
+    # are quarantined — and the harness must *detect* poison reaching
+    # codegen when verification is off (nonzero exit expected, the
+    # shell mirror of the WILL_FAIL ctest entry).
+    echo "===== hydride-chaos store suite ($CHAOS_BUILD) ====="
+    "$CHAOS_BUILD"/tools/hydride-chaos --store-crash || exit 1
+    "$CHAOS_BUILD"/tools/hydride-chaos --store-concurrent || exit 1
+    "$CHAOS_BUILD"/tools/hydride-chaos --store-poison || exit 1
+    if "$CHAOS_BUILD"/tools/hydride-chaos --store-poison-unverified \
+            > /dev/null 2>&1; then
+        echo "run_all: chaos harness missed poison reaching codegen" >&2
+        exit 1
+    fi
+    echo "run_all: chaos store suite passed"
+}
+
 if [ "$1" = "--sanitize" ]; then
     cmake --preset asan-ubsan || exit 1
     cmake --build --preset asan-ubsan -j "$(nproc)" || exit 1
@@ -71,10 +101,19 @@ if [ "$1" = "--sanitize" ]; then
         CHAOS_BUILD=build/sanitize
         run_chaos
     fi
+    if [ "$CHAOS_STORE_MODE" = 1 ]; then
+        CHAOS_BUILD=build/sanitize
+        run_chaos_store
+    fi
     exit 0
 fi
 if [ "$1" = "--chaos" ]; then
     run_chaos
+    [ "$CHAOS_STORE_MODE" = 1 ] && run_chaos_store
+    exit 0
+fi
+if [ "$1" = "--chaos-store" ]; then
+    run_chaos_store
     exit 0
 fi
 if [ "$1" = "--lint" ]; then

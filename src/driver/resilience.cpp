@@ -1,5 +1,6 @@
 #include "driver/resilience.h"
 
+#include "analysis/symbolic/ir_equiv.h"
 #include "codegen/lowering.h"
 #include "observability/journal/journal.h"
 #include "observability/log.h"
@@ -7,6 +8,7 @@
 #include "observability/trace.h"
 #include "support/error.h"
 #include "support/faults.h"
+#include "support/rng.h"
 #include "support/timing.h"
 
 namespace hydride {
@@ -97,6 +99,46 @@ barrier(const char *stage, ResilientWindow &out,
     return false;
 }
 
+/**
+ * Trust-but-verify for a retrieved store entry: symbolic equivalence
+ * first (the strong tier), concrete sampling when the symbolic
+ * verdict is unknown. Returns false — with a reason — when the entry
+ * is refuted; the caller quarantines it. The `store.verify` chaos
+ * seam forces a refutation to exercise the poisoning path.
+ */
+bool
+verifyRetrieved(const AutoLLVMDict &dict, const HExprPtr &window,
+                const AutoModule &module, const sym::EqBudget &budget,
+                int concrete_vectors, std::string &why)
+{
+    if (faults::shouldFail("store.verify")) {
+        why = "injected store.verify fault";
+        return false;
+    }
+    const sym::EqResult eq =
+        sym::checkModuleEquiv(dict, module, window, budget);
+    if (eq.verdict == sym::Verdict::Proved)
+        return true;
+    if (eq.verdict == sym::Verdict::Refuted) {
+        why = "symbolically refuted (" + eq.method + " tier)";
+        return false;
+    }
+    // Unknown verdict: fall back to concrete sampling. Fixed seed so
+    // a poisoned entry fails deterministically run to run.
+    Rng rng(0x570F3u ^ HExpr::hashOf(window));
+    for (int v = 0; v < concrete_vectors; ++v) {
+        std::vector<BitVector> inputs;
+        for (int w : module.input_widths)
+            inputs.push_back(BitVector::random(std::max(w, 1), rng));
+        if (module.evaluate(dict, inputs) != evalHalide(window, inputs)) {
+            why = "concrete counterexample (vector " +
+                  std::to_string(v) + ")";
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
 
 ResilientCompiler::ResilientCompiler(const AutoLLVMDict &dict,
@@ -107,6 +149,17 @@ ResilientCompiler::ResilientCompiler(const AutoLLVMDict &dict,
       options_(std::move(options)), cache_(cache ? cache : &own_cache_),
       fallback_(dict, isa_, vector_bits)
 {
+    if (!options_.store_path.empty()) {
+        // A store that cannot open is a degraded session, not a
+        // failed one: warm starts are an optimization, never a
+        // dependency.
+        if (!store_.open(options_.store_path, dict_, options_.store)) {
+            HYD_LOG(Warn, "synthesis store unavailable (" +
+                              store_.openStats().error +
+                              "); compiling cold");
+            metrics::counter("resilience.store.open_failures").add();
+        }
+    }
 }
 
 void
@@ -155,8 +208,84 @@ ResilientCompiler::tryPrimary(const HExprPtr &window, ResilientWindow &out)
         }
 
         out.cache_outcome = "miss";
+
+        // The in-process cache missed; the durable store gets the
+        // next word. An exact hit is re-proved before acceptance
+        // (trust-but-verify) — a failing entry is demoted to the
+        // quarantine and the ladder continues as if the store had
+        // missed, so a poisoned record can never reach codegen.
+        if (store_.isOpen()) {
+            if (const SynthesisResult *stored =
+                    store_.find(window, isa_)) {
+                if (!stored->ok) {
+                    out.cache_outcome = "store_negative";
+                    metrics::counter("resilience.store.negative_skips")
+                        .add();
+                    cache_->insertByKey({HExpr::hashOf(window), isa_},
+                                        *stored);
+                    out.diagnostics.push_back(
+                        {"synthesis.store",
+                         "negative store entry; skipping synthesis"});
+                    return false;
+                }
+                std::string why;
+                const bool trusted =
+                    !options_.store_verify ||
+                    verifyRetrieved(dict_, window, stored->module,
+                                    options_.synthesis.symbolic_budget,
+                                    options_.store_verify_vectors, why);
+                if (trusted) {
+                    LoweringResult lowered =
+                        lowerToTarget(stored->module, dict_, isa_);
+                    if (lowered.ok) {
+                        out.cache_outcome = "store_hit";
+                        metrics::counter("resilience.store.hits").add();
+                        out.rung = Rung::Cached;
+                        out.from_cache = true;
+                        out.synth = *stored;
+                        cache_->insertByKey({HExpr::hashOf(window), isa_},
+                                            *stored);
+                        out.program = std::move(lowered.program);
+                        return true;
+                    }
+                    out.diagnostics.push_back(
+                        {"stage.lowering",
+                         "stored result no longer lowers: " +
+                             lowered.error});
+                } else {
+                    metrics::counter("resilience.store.poisoned").add();
+                    out.diagnostics.push_back(
+                        {"store.verify",
+                         "store entry failed verification (" + why +
+                             "); quarantined"});
+                    store_.quarantine(window, isa_, why);
+                }
+                // Fall through to ordinary synthesis either way.
+            }
+        }
+
+        SynthesisOptions synth_options = options_.synthesis;
+        if (store_.isOpen() && options_.store_neighbor_distance >= 0) {
+            // Approximate warm start: modules that solved windows a
+            // few signature bits away. CEGIS verifies each against
+            // *this* window's spec before using it, so a wrong
+            // neighbor costs a few evaluations, never correctness.
+            for (const auto &neighbor : store_.nearest(
+                     window, isa_, options_.store_neighbor_distance,
+                     static_cast<size_t>(std::max(
+                         options_.store_neighbor_limit, 0)))) {
+                synth_options.warm_seeds.push_back(
+                    neighbor.result->module);
+            }
+            out.store_seeds =
+                static_cast<int>(synth_options.warm_seeds.size());
+            if (out.store_seeds > 0) {
+                metrics::counter("resilience.store.seeded")
+                    .add(static_cast<uint64_t>(out.store_seeds));
+            }
+        }
         SynthesisResult synth =
-            synthesizeWindow(dict_, isa_, window, options_.synthesis);
+            synthesizeWindow(dict_, isa_, window, synth_options);
         // The note is "timeout" possibly extended by the unscaled
         // retry's outcome ("timeout; unscaled retry: ..."), so match
         // the prefix.
@@ -182,6 +311,12 @@ ResilientCompiler::tryPrimary(const HExprPtr &window, ResilientWindow &out)
                 synth = std::move(retried);
         }
         cache_->insert(window, isa_, synth);
+        if (store_.isOpen()) {
+            // Share the outcome — positive or negative — with every
+            // other process on this store. A failed append is only a
+            // lost optimization (logged inside append()).
+            store_.append(window, isa_, synth);
+        }
         if (!synth.ok) {
             out.diagnostics.push_back(
                 {"stage.synthesis", "synthesis failed: " + synth.note});
@@ -281,6 +416,8 @@ ResilientCompiler::compileWindow(const HExprPtr &window)
         ledger.nodes = HExpr::sizeOf(window);
         ledger.cache = out.cache_outcome;
         ledger.rung = rungName(out.rung);
+        ledger.store_seeds = out.store_seeds;
+        ledger.warm_started = out.synth.warm_started;
         ledger.cegis_iterations = out.synth.cegis_iterations;
         ledger.counterexamples = out.synth.counterexamples;
         ledger.candidates_rejected = out.synth.candidates_rejected;

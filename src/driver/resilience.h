@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "synthesis/compiler.h"
+#include "synthesis/store/store.h"
 
 namespace hydride {
 
@@ -71,6 +72,31 @@ struct ResilienceOptions
      *  these to prove the harness detects a broken ladder). */
     bool allow_macro_fallback = true;
     bool allow_scalarized = true;
+    /**
+     * Durable synthesis store (synthesis/store/store.h). Empty path
+     * disables it. When open: exact hits short-circuit synthesis
+     * (after verification, below), near misses seed CEGIS warm
+     * starts, and fresh synthesis results are appended for other
+     * processes. A store that fails to open degrades to "no store" —
+     * it never takes compilation down.
+     */
+    std::string store_path;
+    SynthesisStore::Options store;
+    /**
+     * Trust-but-verify for retrieved *exact* store hits: re-prove the
+     * module against the window (symbolic tier first, concrete
+     * vectors when the symbolic verdict is unknown) before accepting.
+     * A failing entry is quarantined (`store_poisoned` journal event)
+     * and the driver falls through to ordinary synthesis — a poisoned
+     * store entry can never reach codegen.
+     */
+    bool store_verify = true;
+    /** Concrete vectors for the unknown-verdict fallback above. */
+    int store_verify_vectors = 16;
+    /** Neighbor warm-start: max signature Hamming distance (< 0
+     *  disables retrieval) and how many seeds to pass to CEGIS. */
+    int store_neighbor_distance = 8;
+    int store_neighbor_limit = 4;
 };
 
 /** One recovered failure on the way down the ladder. */
@@ -87,9 +113,13 @@ struct ResilientWindow
     Rung rung = Rung::Failed;
     bool ok = false;
     bool from_cache = false;
-    /** Memoization-cache outcome: "hit", "miss", "negative", or
-     *  "none" when a fault tripped before the lookup ran. */
+    /** Memoization outcome: "hit", "miss", "negative", or "none"
+     *  when a fault tripped before the lookup ran; "store_hit" /
+     *  "store_negative" when the durable store answered after the
+     *  in-process cache missed. */
     std::string cache_outcome = "none";
+    /** Warm-start seeds retrieved from the store for this window. */
+    int store_seeds = 0;
     /** Escalated synthesis retries performed (0 or 1). */
     int retries = 0;
     /** A caught error was degraded past (ok may still be true). */
@@ -153,6 +183,10 @@ class ResilientCompiler
 
     const AutoLLVMDict &dict() const { return dict_; }
 
+    /** The durable store, when ResilienceOptions::store_path opened
+     *  one (isOpen() false otherwise). */
+    SynthesisStore &store() { return store_; }
+
   private:
     /** Cache/synthesis/lowering — the Synthesized and Cached rungs. */
     bool tryPrimary(const HExprPtr &window, ResilientWindow &out);
@@ -167,6 +201,7 @@ class ResilientCompiler
     ResilienceOptions options_;
     SynthesisCache *cache_;
     SynthesisCache own_cache_;
+    SynthesisStore store_;
     MacroExpander fallback_;
 };
 

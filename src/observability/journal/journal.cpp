@@ -283,6 +283,11 @@ emitWindow(const WindowLedger &ledger)
     event->set("shape", shape);
     event->set("cache", bjson::Value::makeString(ledger.cache));
     event->set("rung", bjson::Value::makeString(ledger.rung));
+    if (ledger.store_seeds > 0)
+        event->set("store_seeds",
+                   bjson::Value::makeNumber(ledger.store_seeds));
+    if (ledger.warm_started)
+        event->set("warm_started", bjson::Value::makeBool(true));
     auto cegis = bjson::Value::makeObject();
     cegis->set("iterations",
                bjson::Value::makeNumber(ledger.cegis_iterations));

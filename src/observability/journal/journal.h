@@ -69,7 +69,11 @@ struct WindowLedger
     int lanes = 0;
     int elem_width = 0;
     int nodes = 0;           ///< HExpr::sizeOf of the window.
-    std::string cache;       ///< "hit" | "miss" | "negative".
+    std::string cache;       ///< "hit" | "miss" | "negative" |
+                             ///< "store_hit" | "store_negative".
+    int store_seeds = 0;     ///< Warm-start seeds retrieved from the
+                             ///< durable store for this window.
+    bool warm_started = false; ///< A verified seed skipped the search.
     std::string rung;        ///< Degradation-ladder outcome.
     int cegis_iterations = 0;
     int counterexamples = 0;

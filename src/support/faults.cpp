@@ -51,6 +51,19 @@ const SiteInfo kSites[] = {
     {"cache.corrupt",
      "a loaded synthesis-cache entry reads as corrupt (checksum "
      "mismatch -> salvage path)"},
+    {"store.lock",
+     "synthesis-store shard writer-lock acquisition fails (store "
+     "becomes read-only for the attempt)"},
+    {"store.append",
+     "synthesis-store append crashes mid-record: a torn record is "
+     "left on disk and the writer lock leaks, exactly as a SIGKILL "
+     "mid-append would"},
+    {"store.load",
+     "a synthesis-store record reads as corrupt during a shard scan "
+     "(checksum mismatch -> resync salvage)"},
+    {"store.verify",
+     "warm-start verification of a retrieved store entry fails (the "
+     "entry is quarantined as poisoned)"},
     {"lowering.fail",
      "1-1 lowering of a synthesized module fails"},
     {"macro.fail",

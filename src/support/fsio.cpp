@@ -1,0 +1,122 @@
+#include "support/fsio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace hydride {
+namespace fsio {
+
+namespace {
+
+/** Exponential backoff: 1ms, 2ms, 4ms, ... capped per attempt. */
+void
+backoff(int attempt)
+{
+    ::usleep(static_cast<useconds_t>(1000u << (attempt < 6 ? attempt : 6)));
+}
+
+} // namespace
+
+int
+openRetry(const char *path, int flags, int mode)
+{
+    for (int attempt = 0; attempt < kRetryAttempts; ++attempt) {
+        const int fd = ::open(path, flags, mode);
+        if (fd >= 0 || errno != EINTR)
+            return fd;
+    }
+    return ::open(path, flags, mode);
+}
+
+bool
+writeFull(int fd, const void *data, size_t len)
+{
+    const char *cursor = static_cast<const char *>(data);
+    size_t left = len;
+    int interruptions = 0;
+    while (left > 0) {
+        const ssize_t wrote = ::write(fd, cursor, left);
+        if (wrote > 0) {
+            cursor += wrote;
+            left -= static_cast<size_t>(wrote);
+            continue;
+        }
+        if (wrote < 0 && errno == EINTR) {
+            if (++interruptions > kRetryAttempts)
+                return false;
+            continue;
+        }
+        // wrote == 0 (should not happen for regular files) or a hard
+        // error: give up, the caller's atomic-publish protocol keeps
+        // the previous data intact.
+        return false;
+    }
+    return true;
+}
+
+bool
+fsyncRetry(int fd)
+{
+    for (int attempt = 0; attempt < kRetryAttempts; ++attempt) {
+        if (::fsync(fd) == 0)
+            return true;
+        if (errno != EINTR)
+            return false;
+        backoff(attempt);
+    }
+    return ::fsync(fd) == 0;
+}
+
+bool
+renameRetry(const std::string &from, const std::string &to)
+{
+    for (int attempt = 0; attempt < kRetryAttempts; ++attempt) {
+        if (std::rename(from.c_str(), to.c_str()) == 0)
+            return true;
+        if (errno != EINTR && errno != EBUSY)
+            return false;
+        backoff(attempt);
+    }
+    return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool
+fsyncDir(const std::string &dir)
+{
+    const int fd = openRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    // A directory fsync failing (some filesystems refuse it) is not a
+    // durability loss we can act on; opening it is the real check.
+    (void)fsyncRetry(fd);
+    ::close(fd);
+    return true;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd =
+        openRetry(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    const bool wrote = writeFull(fd, content.data(), content.size()) &&
+                       fsyncRetry(fd);
+    ::close(fd);
+    if (!wrote || !renameRetry(tmp, path)) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    const size_t slash = path.find_last_of('/');
+    fsyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+    return true;
+}
+
+} // namespace fsio
+} // namespace hydride

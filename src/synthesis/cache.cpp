@@ -4,6 +4,7 @@
 #include "observability/log.h"
 #include "observability/metrics.h"
 #include "support/faults.h"
+#include "support/fsio.h"
 #include "support/strings.h"
 
 #include <cstdio>
@@ -35,14 +36,27 @@ SynthesisCache::lookup(const HExprPtr &window, const std::string &isa)
 }
 
 void
-SynthesisCache::insert(const HExprPtr &window, const std::string &isa,
-                       const SynthesisResult &result)
+SynthesisCache::insertEntry(const Key &key, const SynthesisResult &result)
 {
-    const Key key{HExpr::hashOf(window), isa};
-    entries_[key].result = result;
+    CachedEntry &entry = entries_[key];
+    entry.result = result;
+    entry.hits = 0;
     static metrics::Counter &insert_counter =
         metrics::counter("synthesis.cache.inserts");
     insert_counter.add();
+}
+
+void
+SynthesisCache::insert(const HExprPtr &window, const std::string &isa,
+                       const SynthesisResult &result)
+{
+    insertEntry({HExpr::hashOf(window), isa}, result);
+}
+
+void
+SynthesisCache::insertByKey(const Key &key, const SynthesisResult &result)
+{
+    insertEntry(key, result);
 }
 
 void
@@ -55,9 +69,8 @@ SynthesisCache::clear()
     hits_ = misses_ = 0;
 }
 
-namespace {
+namespace cachefmt {
 
-/** Fingerprint tying a cache file to the dictionary that made it. */
 uint64_t
 dictFingerprint(const AutoLLVMDict &dict)
 {
@@ -70,10 +83,8 @@ dictFingerprint(const AutoLLVMDict &dict)
     return h;
 }
 
-/** FNV-1a over an entry's serialized text — the per-entry checksum
- *  that lets the loader detect bit flips and truncation. */
 uint64_t
-entryChecksum(const std::string &text)
+checksum(const std::string &text)
 {
     uint64_t h = 0xCBF29CE484222325ull;
     for (unsigned char c : text)
@@ -81,7 +92,6 @@ entryChecksum(const std::string &text)
     return h;
 }
 
-/** One entry's serialized block (everything the checksum covers). */
 std::string
 serializeEntry(const SynthesisCache::Key &key, const SynthesisResult &result)
 {
@@ -113,7 +123,6 @@ serializeEntry(const SynthesisCache::Key &key, const SynthesisResult &result)
     return out.str();
 }
 
-/** Parse one serialized entry block; false on any malformation. */
 bool
 parseEntry(const std::string &block, const AutoLLVMDict &dict,
            SynthesisCache::Key &key, SynthesisResult &result)
@@ -191,7 +200,7 @@ parseEntry(const std::string &block, const AutoLLVMDict &dict,
     return true;
 }
 
-} // namespace
+} // namespace cachefmt
 
 bool
 SynthesisCache::save(const std::string &path, const AutoLLVMDict &dict) const
@@ -201,32 +210,20 @@ SynthesisCache::save(const std::string &path, const AutoLLVMDict &dict) const
     if (faults::shouldFail("cache.save"))
         return false;
 
-    // Atomic persistence: write a temp file in the same directory,
-    // then rename over the target. A crash mid-save leaves the old
-    // cache untouched; rename within one filesystem is atomic. The
-    // pid suffix keeps concurrent savers from clobbering each other's
-    // temp file (last rename wins, both files stay well-formed).
-    const std::string tmp =
-        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-    {
-        std::ofstream out(tmp);
-        if (!out)
-            return false;
-        out << "hydride-synth-cache v2 " << dictFingerprint(dict) << "\n";
-        for (const auto &[key, entry] : entries_) {
-            const std::string block = serializeEntry(key, entry.result);
-            out << block << "check " << entryChecksum(block) << "\n";
-        }
-        if (!out) {
-            std::remove(tmp.c_str());
-            return false;
-        }
+    // Atomic persistence via fsio::writeFileAtomic: temp file in the
+    // same directory, fsync, EINTR-safe rename over the target, then
+    // a directory fsync. A crash mid-save leaves the old cache
+    // untouched; the pid suffix on the temp file keeps concurrent
+    // savers from clobbering each other (last rename wins, both
+    // files stay well-formed).
+    std::ostringstream out;
+    out << "hydride-synth-cache v2 " << cachefmt::dictFingerprint(dict)
+        << "\n";
+    for (const auto &[key, entry] : entries_) {
+        const std::string block = cachefmt::serializeEntry(key, entry.result);
+        out << block << "check " << cachefmt::checksum(block) << "\n";
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return fsio::writeFileAtomic(path, out.str());
 }
 
 namespace {
@@ -276,7 +273,7 @@ SynthesisCache::load(const std::string &path, const AutoLLVMDict &dict)
     uint64_t fingerprint = 0;
     hdr >> magic >> version >> fingerprint;
     if (magic != "hydride-synth-cache" || version != "v2" ||
-        fingerprint != dictFingerprint(dict)) {
+        fingerprint != cachefmt::dictFingerprint(dict)) {
         noteLoadOutcome(path, false, false, 0);
         return false;
     }
@@ -304,14 +301,14 @@ SynthesisCache::load(const std::string &path, const AutoLLVMDict &dict)
             uint64_t recorded = 0;
             std::istringstream chk(line.substr(6));
             if (!(chk >> recorded) ||
-                recorded != entryChecksum(block) ||
+                recorded != cachefmt::checksum(block) ||
                 faults::shouldFail("cache.corrupt")) {
                 last_load_.salvaged = true;
                 break;
             }
             Key key;
             SynthesisResult result;
-            if (!parseEntry(block, dict, key, result)) {
+            if (!cachefmt::parseEntry(block, dict, key, result)) {
                 last_load_.salvaged = true;
                 break;
             }

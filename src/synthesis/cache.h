@@ -72,12 +72,12 @@ class SynthesisCache
             fn(key, entry.result);
     }
 
-    /** Insert under an explicit key (cache-transfer helper). */
-    void
-    insertByKey(const Key &key, const SynthesisResult &result)
-    {
-        entries_[key].result = result;
-    }
+    /** Insert under an explicit key (cache-transfer helper). Routes
+     *  through the same bookkeeping as insert(), so cache-transfer
+     *  builds count in the `synthesis.cache.inserts` metric and the
+     *  entry's hit counter starts from a defined zero instead of
+     *  whatever a prior partial write left behind. */
+    void insertByKey(const Key &key, const SynthesisResult &result);
 
     /**
      * Persist the cache to a file so later compiler invocations reuse
@@ -110,6 +110,9 @@ class SynthesisCache
     const LoadStats &loadStats() const { return last_load_; }
 
   private:
+    /** The one insertion path: every public insert lands here. */
+    void insertEntry(const Key &key, const SynthesisResult &result);
+
     std::map<Key, CachedEntry> entries_;
     LoadStats last_load_;
     int hits_ = 0;
@@ -117,6 +120,32 @@ class SynthesisCache
     long lifetime_hits_ = 0;
     long lifetime_misses_ = 0;
 };
+
+/**
+ * The serialized cache-entry wire format, shared with the durable
+ * synthesis store (src/synthesis/store/): one text block per entry
+ * plus an FNV-1a checksum over the block, and the dictionary
+ * fingerprint that binds a persisted artifact to the AutoLLVM
+ * dictionary it was built against.
+ */
+namespace cachefmt {
+
+/** One entry's serialized block (everything the checksum covers). */
+std::string serializeEntry(const SynthesisCache::Key &key,
+                           const SynthesisResult &result);
+
+/** Parse one serialized entry block; false on any malformation
+ *  (including instruction ids outside the dictionary). */
+bool parseEntry(const std::string &block, const class AutoLLVMDict &dict,
+                SynthesisCache::Key &key, SynthesisResult &result);
+
+/** FNV-1a over a serialized block — the per-entry checksum. */
+uint64_t checksum(const std::string &text);
+
+/** Fingerprint tying a persisted artifact to the dictionary. */
+uint64_t dictFingerprint(const class AutoLLVMDict &dict);
+
+} // namespace cachefmt
 
 } // namespace hydride
 

@@ -72,6 +72,17 @@ struct SynthesisOptions
      * over-approximates the op's outputs for *every* operand choice.
      */
     bool static_prune = true;
+    /**
+     * Warm-start candidates (synthesis/store/ nearest-neighbor
+     * retrieval): full-width modules that solved *structurally
+     * similar* windows. Each is tried before any enumeration —
+     * trust-but-verify, on the verification vectors and (when
+     * `symbolic_verify` is set) symbolically — and the first one that
+     * matches this window's specification is returned without a
+     * search. A seed that fails is simply skipped: neighbors solving
+     * a *different* function is the expected case, not poisoning.
+     */
+    std::vector<AutoModule> warm_seeds;
 };
 
 /** Outcome of synthesizing one window. */
@@ -98,6 +109,10 @@ struct SynthesisResult
     /** Final full-width verdict: "proved", "refuted", "unknown", or
      *  empty when symbolic verification was off / never reached. */
     std::string symbolic_verdict;
+    /** Warm-start seeds tried before enumeration. */
+    int warm_seeds_tried = 0;
+    /** True when a verified warm-start seed was returned (no search). */
+    bool warm_started = false;
 };
 
 /** Synthesize one window for one target ISA. */

@@ -1,11 +1,19 @@
 /**
  * @file
- * Unit tests for the support utilities: strings, RNG, tables.
+ * Unit tests for the support utilities: strings, RNG, tables, and
+ * the EINTR-safe filesystem primitives (support/fsio.h) under the
+ * durable store and cache persistence.
  */
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/fsio.h"
 #include "support/rng.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -107,6 +115,84 @@ TEST(Table, CsvPrinting)
     std::ostringstream os;
     table.printCsv(os);
     EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+namespace {
+
+std::string
+tmpName(const char *stem)
+{
+    return std::string("/tmp/hydride_fsio_") + stem + "." +
+           std::to_string(::getpid());
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+} // namespace
+
+TEST(Fsio, OpenWriteFsyncRoundTrip)
+{
+    const std::string path = tmpName("roundtrip");
+    const int fd = fsio::openRetry(path.c_str(),
+                                   O_CREAT | O_WRONLY | O_TRUNC);
+    ASSERT_GE(fd, 0);
+    // Large enough to span several write() calls if the kernel
+    // returns short counts; writeFull must resume, not truncate.
+    std::string payload;
+    for (int i = 0; i < 4096; ++i)
+        payload += format("line %d\n", i);
+    EXPECT_TRUE(fsio::writeFull(fd, payload.data(), payload.size()));
+    EXPECT_TRUE(fsio::fsyncRetry(fd));
+    ::close(fd);
+    EXPECT_EQ(slurp(path), payload);
+    std::remove(path.c_str());
+}
+
+TEST(Fsio, HardErrorsFailWithoutLooping)
+{
+    EXPECT_LT(fsio::openRetry("/definitely/not/here.txt", O_RDONLY), 0);
+    EXPECT_FALSE(fsio::writeFull(-1, "x", 1));
+    EXPECT_FALSE(fsio::fsyncRetry(-1));
+    EXPECT_FALSE(fsio::renameRetry("/definitely/not/here.txt",
+                                   "/also/not/here.txt"));
+    EXPECT_FALSE(fsio::writeFileAtomic("/definitely/not/here/file",
+                                       "content"));
+}
+
+TEST(Fsio, RenameRetryReplacesTheTarget)
+{
+    const std::string from = tmpName("rename_from");
+    const std::string to = tmpName("rename_to");
+    ASSERT_TRUE(fsio::writeFileAtomic(from, "new"));
+    ASSERT_TRUE(fsio::writeFileAtomic(to, "old"));
+    EXPECT_TRUE(fsio::renameRetry(from, to));
+    EXPECT_EQ(slurp(to), "new");
+    // Atomic rename consumed the source.
+    EXPECT_LT(fsio::openRetry(from.c_str(), O_RDONLY), 0);
+    std::remove(to.c_str());
+}
+
+TEST(Fsio, WriteFileAtomicPublishesAndLeavesNoTemp)
+{
+    const std::string path = tmpName("atomic");
+    EXPECT_TRUE(fsio::writeFileAtomic(path, "first"));
+    EXPECT_EQ(slurp(path), "first");
+    // Overwrite is also atomic: either the old or the new content,
+    // never a mix, and the temp staging file must not linger.
+    EXPECT_TRUE(fsio::writeFileAtomic(path, "second"));
+    EXPECT_EQ(slurp(path), "second");
+    const std::string temp =
+        path + ".tmp." + std::to_string(::getpid());
+    EXPECT_LT(fsio::openRetry(temp.c_str(), O_RDONLY), 0);
+    EXPECT_TRUE(fsio::fsyncDir("/tmp"));
+    std::remove(path.c_str());
 }
 
 } // namespace

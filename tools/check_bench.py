@@ -122,6 +122,36 @@ def check_report(path, where, report, expect_smoke):
     return suite
 
 
+def check_store_curve(path, where, report):
+    """The bench_store_warm suite must carry a well-formed cold/warm
+    curve: a cold run0, at least one warm run, and a warm_speedup
+    ratio >= 1 (warm compiles through the durable store must not be
+    slower than cold synthesis — the store's whole reason to exist).
+    """
+    entries = {e["name"]: e for e in report["benchmarks"]}
+    if "store.run0_ms" not in entries:
+        fail(path, f"{where} (store curve) missing cold run "
+                   f"'store.run0_ms'")
+    runs = sorted(name for name in entries
+                  if name.startswith("store.run") and
+                  name.endswith("_ms"))
+    if len(runs) < 2:
+        fail(path, f"{where} (store curve) has no warm runs "
+                   f"(found only {runs})")
+    for name in runs:
+        if entries[name].get("kind") != "time":
+            fail(path, f"{where} (store curve) '{name}' is not a time "
+                       f"entry")
+    speedup = entries.get("store.warm_speedup")
+    if speedup is None or speedup.get("kind") != "ratio":
+        fail(path, f"{where} (store curve) missing ratio "
+                   f"'store.warm_speedup'")
+    if speedup["value"] < 1.0:
+        fail(path, f"{where} (store curve) warm_speedup is "
+                   f"{speedup['value']:.2f} — warm compiles are slower "
+                   f"than cold")
+
+
 def check_suite(path, doc):
     if not isinstance(doc, dict):
         fail(path, "top level is not an object")
@@ -143,6 +173,8 @@ def check_suite(path, doc):
         if suite in seen:
             fail(path, f"duplicate suite '{suite}'")
         seen.add(suite)
+        if suite == "bench_store_warm":
+            check_store_curve(path, f"suites[{i}]", report)
         entries += len(report["benchmarks"])
     return len(suites), entries
 

@@ -30,7 +30,8 @@ FLIGHT_SCHEMA = "hydride-flight/v1"
 
 RUNGS = {"synthesized", "cached", "macro_expanded", "scalarized",
          "failed"}
-CACHE_OUTCOMES = {"hit", "miss", "negative", "none"}
+CACHE_OUTCOMES = {"hit", "miss", "negative", "none",
+                  "store_hit", "store_negative"}
 
 WINDOW_REQUIRED = ("hash", "isa", "shape", "cache", "rung", "cegis",
                    "retries", "recovered", "cost", "insts", "faults",

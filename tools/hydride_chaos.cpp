@@ -38,6 +38,27 @@
  *                                 entry proves the harness can detect
  *                                 a broken degradation path).
  *   hydride-chaos --list          print the canonical sweep plan.
+ *
+ * Multi-process store modes (the crash-safety half of the story —
+ * docs/cache_store.md):
+ *
+ *   --store-crash                 SIGKILL a child mid-append: the
+ *                                 parent must salvage the surviving
+ *                                 records, take over the dead child's
+ *                                 leaked writer lock, and warm-compile
+ *                                 from the salvaged store.
+ *   --store-concurrent            N forked writers appending to one
+ *                                 shard: no record may be lost or
+ *                                 torn.
+ *   --store-poison                a wrong-but-well-formed store entry
+ *                                 must be caught by warm-start
+ *                                 verification, quarantined durably,
+ *                                 and never reach codegen.
+ *   --store-poison-unverified     the same poisoned store compiled
+ *                                 with verification disabled: the
+ *                                 harness must *fail* (the WILL_FAIL
+ *                                 ctest entry proves the harness can
+ *                                 detect poison reaching codegen).
  */
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +69,7 @@
 #include <string>
 #include <vector>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -81,6 +103,12 @@ sweepPlan()
         {"cache.save", "cache.save"},
         {"cache.corrupt", "cache.corrupt:1"},
         {"lowering.fail", "lowering.fail"},
+        {"store.lock", "store.lock"},
+        // Fires on the second append: one record lands cleanly first,
+        // so the torn tail has a healthy neighbor to resync past.
+        {"store.append", "store.append:2"},
+        {"store.load", "store.load:1"},
+        {"store.verify", "store.verify"},
         // Alone, macro.fail is unreachable (synthesis succeeds and
         // the expander never runs); compose it with a primary-path
         // fault so the sweep drives the ladder down to Scalarized.
@@ -248,41 +276,60 @@ runSite(const std::string &site, const std::string &clause,
         options.allow_macro_fallback = false;
         options.allow_scalarized = false;
     }
-    SynthesisCache cache;
-    ResilientCompiler compiler(dict, "x86", 256, options, &cache);
+    // Every chaos child compiles against a private durable store so
+    // the store.* seams sit on the same probe path as everything
+    // else: pass 0 appends while compiling cold, pass 1 re-compiles
+    // through a fresh compiler and cache whose only memo is the store
+    // — driving exact hits (store.verify), shard scans (store.load),
+    // and appends (store.lock / store.append) under fault.
+    const std::string store_dir =
+        "/tmp/hydride_chaos_store." + std::to_string(::getpid());
+    std::system(("rm -rf '" + store_dir + "'").c_str());
+    options.store_path = store_dir;
+    // A leaked writer lock (the store.append crash shape) must be
+    // taken over *within* this process's bounded lock wait.
+    options.store.stale_lock_age_seconds = 0.5;
+    options.store.lock_attempts = 600;
 
+    SynthesisCache cache;
     std::map<std::string, int> rung_counts;
     bool barrier_tripped = false;
-    for (const auto &name : kProbeKernels) {
-        Schedule schedule;
-        Kernel kernel = buildKernel(name, schedule);
-        ResilientCompilation compiled = compiler.compile(kernel);
-        for (const auto &window : compiled.windows) {
-            ++rung_counts[rungName(window.rung)];
-            barrier_tripped = barrier_tripped || window.recovered;
-            if (!window.ok) {
-                // A Failed rung always carries diagnostics (that is
-                // the structured half of the invariant), but with the
-                // full ladder enabled it must never be reached at
-                // all — scalarization cannot fail.
-                std::fprintf(stderr,
-                             "chaos: VIOLATION kernel=%s window failed "
-                             "every rung (%s)\n",
-                             name.c_str(),
-                             window.diagnostics.empty()
-                                 ? "no diagnostics!"
-                                 : window.diagnostics.back().detail.c_str());
-                ++violations;
-                continue;
-            }
-            std::string why;
-            if (!verifyWindow(dict, window, why)) {
-                std::fprintf(stderr,
-                             "chaos: VIOLATION kernel=%s rung=%s not "
-                             "equivalent: %s\n",
-                             name.c_str(), rungName(window.rung),
-                             why.c_str());
-                ++violations;
+    for (int pass = 0; pass < 2; ++pass) {
+        SynthesisCache warm_cache;
+        ResilientCompiler compiler(dict, "x86", 256, options,
+                                   pass == 0 ? &cache : &warm_cache);
+        for (const auto &name : kProbeKernels) {
+            Schedule schedule;
+            Kernel kernel = buildKernel(name, schedule);
+            ResilientCompilation compiled = compiler.compile(kernel);
+            for (const auto &window : compiled.windows) {
+                ++rung_counts[rungName(window.rung)];
+                barrier_tripped = barrier_tripped || window.recovered;
+                if (!window.ok) {
+                    // A Failed rung always carries diagnostics (that
+                    // is the structured half of the invariant), but
+                    // with the full ladder enabled it must never be
+                    // reached at all — scalarization cannot fail.
+                    std::fprintf(
+                        stderr,
+                        "chaos: VIOLATION kernel=%s window failed "
+                        "every rung (%s)\n",
+                        name.c_str(),
+                        window.diagnostics.empty()
+                            ? "no diagnostics!"
+                            : window.diagnostics.back().detail.c_str());
+                    ++violations;
+                    continue;
+                }
+                std::string why;
+                if (!verifyWindow(dict, window, why)) {
+                    std::fprintf(stderr,
+                                 "chaos: VIOLATION kernel=%s rung=%s not "
+                                 "equivalent: %s\n",
+                                 name.c_str(), rungName(window.rung),
+                                 why.c_str());
+                    ++violations;
+                }
             }
         }
     }
@@ -298,6 +345,8 @@ runSite(const std::string &site, const std::string &clause,
         reloaded.load(cache_path, dict);
         std::remove(cache_path.c_str());
     }
+
+    std::system(("rm -rf '" + store_dir + "'").c_str());
 
     if (barrier_tripped) {
         std::string why;
@@ -335,6 +384,299 @@ runSite(const std::string &site, const std::string &clause,
     for (const auto &[rung, count] : rung_counts)
         std::printf(" %s=%d", rung.c_str(), count);
     std::printf(" violations=%d\n", violations);
+    return violations;
+}
+
+// ---- Multi-process store modes ---------------------------------------------
+
+/** Distinct-by-tag probe window (the constant varies the hash). */
+HExprPtr
+storeProbeWindow(int tag)
+{
+    return hBin(HOp::Add, hInput(0, 8, 8), hConst(tag & 0x7F, 8, 8));
+}
+
+/** A negative synthesis outcome — enough to exercise the record
+ *  framing without needing a synthesized module. */
+SynthesisResult
+negativeResult()
+{
+    SynthesisResult result;
+    result.ok = false;
+    result.note = "chaos probe";
+    return result;
+}
+
+/**
+ * --store-crash: a forked child is SIGKILL'd mid-append (via the
+ * store.append seam, which tears the record and leaks the writer
+ * lock exactly as the real signal would — but deterministically).
+ * The surviving store must salvage every completed record, the
+ * parent must take over the dead child's lock on its next append,
+ * and a warm compile through the salvaged store must succeed.
+ */
+int
+runStoreCrash()
+{
+    const std::string dir =
+        "/tmp/hydride_chaos_crash." + std::to_string(::getpid());
+    std::system(("rm -rf '" + dir + "'").c_str());
+    const AutoLLVMDict dict = AutoLLVMDict::build({"x86"});
+
+    SynthesisStore::Options sopt;
+    sopt.shards = 1; // One shard: the leaked lock is in every writer's way.
+
+    const pid_t child = ::fork();
+    if (child < 0) {
+        std::perror("chaos: fork");
+        return 1;
+    }
+    if (child == 0) {
+        // Child: two clean appends, then the third tears and "kills"
+        // us — SIGKILL leaves no chance to release the lock.
+        std::string error;
+        if (!faults::configure("store.append:3", &error))
+            ::_exit(2);
+        SynthesisStore store;
+        if (!store.open(dir, dict, sopt))
+            ::_exit(2);
+        for (int i = 0; i < 8; ++i) {
+            if (!store.append(storeProbeWindow(i), "x86",
+                              negativeResult())) {
+                ::kill(::getpid(), SIGKILL);
+            }
+        }
+        ::_exit(2); // The fault must have fired before this.
+    }
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    int violations = 0;
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+        std::fprintf(stderr,
+                     "chaos: VIOLATION crash child did not die on "
+                     "SIGKILL (status %d)\n",
+                     status);
+        ++violations;
+    }
+
+    // Survivor: the two completed records load, the torn third is
+    // salvaged past, and the dead child's lock is taken over.
+    SynthesisStore store;
+    if (!store.open(dir, dict, sopt)) {
+        std::fprintf(stderr,
+                     "chaos: VIOLATION salvage open failed: %s\n",
+                     store.openStats().error.c_str());
+        std::system(("rm -rf '" + dir + "'").c_str());
+        return violations + 1;
+    }
+    if (store.openStats().records != 2 ||
+        store.openStats().salvaged < 1) {
+        std::fprintf(stderr,
+                     "chaos: VIOLATION salvage kept %zu records "
+                     "(want 2), salvaged %zu (want >=1)\n",
+                     store.openStats().records,
+                     store.openStats().salvaged);
+        ++violations;
+    }
+    if (!store.append(storeProbeWindow(100), "x86", negativeResult())) {
+        std::fprintf(stderr,
+                     "chaos: VIOLATION append after crash failed "
+                     "(leaked lock not taken over?)\n");
+        ++violations;
+    }
+    if (store.lockTakeovers() != 1) {
+        std::fprintf(stderr,
+                     "chaos: VIOLATION expected exactly one stale-lock "
+                     "takeover, saw %zu\n",
+                     store.lockTakeovers());
+        ++violations;
+    }
+
+    // The salvaged store must still be a working warm-start source.
+    ResilienceOptions options;
+    options.synthesis.timeout_seconds = 1.0;
+    options.synthesis.max_insts = 2;
+    options.store_path = dir;
+    options.store = sopt;
+    SynthesisCache cache;
+    ResilientCompiler compiler(dict, "x86", 256, options, &cache);
+    Schedule schedule;
+    Kernel kernel = buildKernel("add", schedule);
+    ResilientCompilation compiled = compiler.compile(kernel);
+    for (const auto &window : compiled.windows) {
+        std::string why;
+        if (!window.ok || !verifyWindow(dict, window, why)) {
+            std::fprintf(stderr,
+                         "chaos: VIOLATION warm compile through the "
+                         "salvaged store broke: %s\n",
+                         why.c_str());
+            ++violations;
+        }
+    }
+
+    std::system(("rm -rf '" + dir + "'").c_str());
+    std::printf("chaos: store-crash violations=%d\n", violations);
+    return violations;
+}
+
+/**
+ * --store-concurrent: N forked writers hammer one shard. Every append
+ * must land exactly once — no lost records, no torn records, no
+ * deadlock on the shared lock.
+ */
+int
+runStoreConcurrent()
+{
+    constexpr int kWriters = 4;
+    constexpr int kAppends = 8;
+    const std::string dir =
+        "/tmp/hydride_chaos_concurrent." + std::to_string(::getpid());
+    std::system(("rm -rf '" + dir + "'").c_str());
+    const AutoLLVMDict dict = AutoLLVMDict::build({"x86"});
+
+    SynthesisStore::Options sopt;
+    sopt.shards = 1; // Force every writer onto the same lock.
+
+    std::vector<pid_t> children;
+    for (int w = 0; w < kWriters; ++w) {
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::perror("chaos: fork");
+            return 1;
+        }
+        if (pid == 0) {
+            SynthesisStore store;
+            if (!store.open(dir, dict, sopt))
+                ::_exit(1);
+            for (int i = 0; i < kAppends; ++i) {
+                if (!store.append(storeProbeWindow(w * kAppends + i),
+                                  "x86", negativeResult())) {
+                    ::_exit(1);
+                }
+            }
+            ::_exit(0);
+        }
+        children.push_back(pid);
+    }
+    int violations = 0;
+    for (const pid_t pid : children) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "chaos: VIOLATION concurrent writer %d died "
+                         "(status %d)\n",
+                         static_cast<int>(pid), status);
+            ++violations;
+        }
+    }
+
+    SynthesisStore store;
+    if (!store.open(dir, dict, sopt)) {
+        std::fprintf(stderr, "chaos: VIOLATION reopen failed: %s\n",
+                     store.openStats().error.c_str());
+        std::system(("rm -rf '" + dir + "'").c_str());
+        return violations + 1;
+    }
+    const size_t expected = size_t(kWriters) * kAppends;
+    if (store.openStats().records != expected ||
+        store.openStats().salvaged != 0) {
+        std::fprintf(stderr,
+                     "chaos: VIOLATION %zu/%zu records survived, %zu "
+                     "salvaged (want 0) — a concurrent append was "
+                     "lost or torn\n",
+                     store.openStats().records, expected,
+                     store.openStats().salvaged);
+        ++violations;
+    }
+    std::system(("rm -rf '" + dir + "'").c_str());
+    std::printf("chaos: store-concurrent violations=%d\n", violations);
+    return violations;
+}
+
+/**
+ * --store-poison: seed the store with a wrong-but-well-formed entry
+ * (a module synthesized for Add(a,b), filed under Sub(a,b)'s key —
+ * every checksum valid, the semantics poisoned). With verification on
+ * the driver must refute it, quarantine it durably, and compile the
+ * window correctly anyway. With `verify` false (--store-poison-
+ * unverified, the WILL_FAIL entry) the poison reaches codegen and
+ * this function reports the violation.
+ */
+int
+runStorePoison(bool verify)
+{
+    const std::string dir =
+        "/tmp/hydride_chaos_poison." + std::to_string(::getpid());
+    std::system(("rm -rf '" + dir + "'").c_str());
+    const AutoLLVMDict dict = AutoLLVMDict::build({"x86"});
+
+    const HExprPtr a = hInput(0, 8, 16);
+    const HExprPtr b = hInput(1, 8, 16);
+    const HExprPtr add_window = hBin(HOp::Add, a, b);
+    const HExprPtr sub_window = hBin(HOp::Sub, a, b);
+
+    SynthesisOptions synth;
+    synth.timeout_seconds = 5.0;
+    synth.max_insts = 2;
+    const SynthesisResult solved =
+        synthesizeWindow(dict, "x86", add_window, synth);
+    if (!solved.ok) {
+        std::fprintf(stderr, "chaos: poison probe synthesis failed: %s\n",
+                     solved.note.c_str());
+        return 1;
+    }
+
+    SynthesisStore::Options sopt;
+    sopt.shards = 1;
+    {
+        SynthesisStore store;
+        if (!store.open(dir, dict, sopt) ||
+            !store.append(sub_window, "x86", solved)) {
+            std::fprintf(stderr, "chaos: poison store setup failed\n");
+            return 1;
+        }
+    }
+
+    int violations = 0;
+    ResilienceOptions options;
+    options.synthesis = synth;
+    options.store_path = dir;
+    options.store = sopt;
+    options.store_verify = verify;
+    SynthesisCache cache;
+    ResilientCompiler compiler(dict, "x86", 256, options, &cache);
+    ResilientWindow out = compiler.compileWindow(sub_window);
+    std::string why;
+    if (!out.ok || !verifyWindow(dict, out, why)) {
+        std::fprintf(stderr,
+                     "chaos: VIOLATION poisoned store entry reached "
+                     "codegen (%s)\n",
+                     why.c_str());
+        ++violations;
+    }
+    if (verify) {
+        if (out.cache_outcome == "store_hit") {
+            std::fprintf(stderr,
+                         "chaos: VIOLATION poisoned entry was served "
+                         "as a store hit\n");
+            ++violations;
+        }
+        // The demotion must be durable: a fresh open skips the
+        // tombstoned record and no longer serves the key.
+        SynthesisStore reopened;
+        if (!reopened.open(dir, dict, sopt) ||
+            reopened.find(sub_window, "x86") != nullptr ||
+            reopened.openStats().poisoned_skipped < 1) {
+            std::fprintf(stderr,
+                         "chaos: VIOLATION quarantine did not survive "
+                         "reopen\n");
+            ++violations;
+        }
+    }
+    std::system(("rm -rf '" + dir + "'").c_str());
+    std::printf("chaos: store-poison%s violations=%d\n",
+                verify ? "" : "-unverified", violations);
     return violations;
 }
 
@@ -410,6 +752,14 @@ main(int argc, char **argv)
             single = true;
             if (clause.empty())
                 clause = "compiler.window";
+        } else if (arg == "--store-crash") {
+            return runStoreCrash() == 0 ? 0 : 1;
+        } else if (arg == "--store-concurrent") {
+            return runStoreConcurrent() == 0 ? 0 : 1;
+        } else if (arg == "--store-poison") {
+            return runStorePoison(true) == 0 ? 0 : 1;
+        } else if (arg == "--store-poison-unverified") {
+            return runStorePoison(false) == 0 ? 0 : 1;
         } else if (arg == "--list") {
             list = true;
         } else {
